@@ -1,0 +1,209 @@
+// Command crserver runs one live CR installation: an SMTP MTA-IN on a TCP
+// port plus the CAPTCHA web server, exactly the two public surfaces of
+// the product the paper studied. Poke it with any SMTP client:
+//
+//	crserver -smtp :2525 -http :8080 -domain corp.example -users bob,carol
+//
+//	$ nc localhost 2525
+//	220 mta.corp.example ESMTP ready
+//	EHLO test
+//	MAIL FROM:<alice@example.com>
+//	RCPT TO:<bob@corp.example>
+//	DATA
+//	Subject: hello
+//
+//	hi bob
+//	.
+//
+// The server logs each decision; challenges print their URL, which you
+// can open in a browser to solve the CAPTCHA and release the message.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/adminui"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/dnssim"
+	"repro/internal/filters"
+	"repro/internal/gateway"
+	"repro/internal/mail"
+	"repro/internal/mailbox"
+	"repro/internal/outbound"
+	"repro/internal/rbl"
+	"repro/internal/smtp"
+	"repro/internal/store"
+	"repro/internal/whitelist"
+)
+
+func main() {
+	var (
+		smtpAddr  = flag.String("smtp", ":2525", "SMTP listen address")
+		httpAddr  = flag.String("http", ":8080", "challenge web server listen address")
+		domain    = flag.String("domain", "corp.example", "local mail domain")
+		users     = flag.String("users", "bob,alice,admin", "comma-separated protected local parts")
+		openRelay = flag.Bool("open-relay", false, "accept mail for relay domains")
+		relayFor  = flag.String("relay-for", "", "comma-separated relayed domains (with -open-relay)")
+		permitAll = flag.Bool("resolve-all", true, "treat every sender domain as resolvable (no real DNS in the sandbox)")
+		statePath = flag.String("state", "", "whitelist snapshot file (loaded at boot, saved periodically and on SIGINT)")
+		smarthost = flag.String("smarthost", "", "next-hop SMTP server for outgoing challenges (host:port); empty = log only")
+	)
+	flag.Parse()
+
+	clk := clock.Real{}
+	dns := dnssim.NewServer()
+	provider := rbl.NewProvider("local-dnsbl", rbl.DefaultPolicy(), clk)
+	chain := filters.NewChain(filters.NewAntivirus(), filters.NewRBL(provider))
+	wl := whitelist.NewStore(clk)
+	if *statePath != "" {
+		snap, err := store.LoadFile(*statePath, wl)
+		if err != nil {
+			log.Fatalf("state load: %v", err)
+		}
+		if snap != nil {
+			log.Printf("restored whitelist snapshot %q from %s", snap.Name, snap.SavedAt.Format(time.RFC3339))
+		}
+	}
+
+	cfg := core.Config{
+		Name:             "crserver",
+		Domains:          []string{*domain},
+		OpenRelay:        *openRelay,
+		QuarantineTTL:    30 * 24 * time.Hour,
+		ChallengeFrom:    mail.Address{Local: "challenge", Domain: *domain},
+		ChallengeBaseURL: challengeBase(*httpAddr),
+	}
+	if *relayFor != "" {
+		cfg.RelayDomains = strings.Split(*relayFor, ",")
+	}
+
+	var queue *outbound.Queue
+	sendChallenge := func(ch core.OutboundChallenge) {
+		log.Printf("CHALLENGE to %s for message %s — solve at %s", ch.To, ch.MsgID, ch.URL)
+	}
+	if *smarthost != "" {
+		queue = outbound.NewQueue(outbound.Config{
+			Dial:       func() (*smtp.Client, error) { return smtp.Dial(*smarthost, 10*time.Second) },
+			HeloDomain: *domain,
+		})
+		base := sendChallenge
+		sendChallenge = func(ch core.OutboundChallenge) {
+			base(ch)
+			queue.Enqueue(ch)
+		}
+	}
+	eng := core.New(cfg, clk, dns, chain, wl, sendChallenge)
+	inboxes := mailbox.NewStore()
+	eng.SetInboxSink(inboxes.Sink())
+	for _, u := range strings.Split(*users, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		addr := mail.Address{Local: u, Domain: *domain}
+		eng.AddUser(addr)
+		log.Printf("protected user: %s", addr)
+	}
+	if *permitAll {
+		// Without real DNS every sender would bounce as unresolvable;
+		// pre-register common test domains and let operators add more.
+		for _, d := range []string{"example.com", "example.org", "gmail.example", "test.example"} {
+			dns.RegisterMailDomain(d, "192.0.2.1")
+		}
+	}
+
+	// Challenge web server + quarantine digest UI + metrics.
+	go func() {
+		log.Printf("web server on %s (challenge pages, /digest/<user>, /mbox/<user>, /metrics)", *httpAddr)
+		mux := http.NewServeMux()
+		mux.Handle("/challenge/", eng.Captcha().Handler())
+		admin := adminui.New(eng).Handler()
+		mux.Handle("/digest/", admin)
+		mux.Handle("/metrics", admin)
+		mux.HandleFunc("/mbox/", func(w http.ResponseWriter, r *http.Request) {
+			userRaw := strings.TrimPrefix(r.URL.Path, "/mbox/")
+			user, err := mail.ParseAddress(userRaw)
+			if err != nil {
+				http.Error(w, "bad user address", http.StatusBadRequest)
+				return
+			}
+			w.Header().Set("Content-Type", "application/mbox")
+			if err := inboxes.WriteMbox(w, user); err != nil {
+				log.Printf("mbox export: %v", err)
+			}
+		})
+		log.Fatal(http.ListenAndServe(*httpAddr, mux))
+	}()
+
+	// Daily quarantine sweep + periodic state snapshots.
+	go func() {
+		for range time.Tick(time.Hour) {
+			if n := eng.ExpireQuarantine(); n > 0 {
+				log.Printf("expired %d quarantined message(s)", n)
+			}
+			saveState(*statePath, wl)
+		}
+	}()
+
+	// Outbound challenge queue runner.
+	if queue != nil {
+		go func() {
+			for range time.Tick(30 * time.Second) {
+				if n, err := queue.Flush(); err != nil {
+					log.Printf("outbound flush: %v", err)
+				} else if n > 0 {
+					log.Printf("outbound: %d challenge(s) reached terminal state; queue now %v", n, queue.Stats())
+				}
+			}
+		}()
+	}
+
+	// Snapshot on SIGINT/SIGTERM before exiting.
+	if *statePath != "" {
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sigc
+			saveState(*statePath, wl)
+			log.Printf("state saved to %s; exiting", *statePath)
+			os.Exit(0)
+		}()
+	}
+
+	srv := smtp.NewServer(smtp.Config{Hostname: "mta." + *domain}, gateway.New(eng))
+	l, err := net.Listen("tcp", *smtpAddr)
+	if err != nil {
+		log.Fatalf("smtp listen: %v", err)
+	}
+	log.Printf("SMTP MTA-IN on %s (domain %s, open-relay=%v)", *smtpAddr, *domain, *openRelay)
+	log.Fatal(srv.Serve(l))
+}
+
+// challengeBase turns the HTTP listen address into the public base URL
+// embedded in challenge emails (":8080" means localhost).
+func challengeBase(httpAddr string) string {
+	if strings.HasPrefix(httpAddr, ":") {
+		return "http://localhost" + httpAddr
+	}
+	return "http://" + httpAddr
+}
+
+// saveState snapshots the whitelists, logging rather than failing —
+// the mail path must survive a full state disk.
+func saveState(path string, wl *whitelist.Store) {
+	if path == "" {
+		return
+	}
+	if err := store.SaveFile(path, "crserver", wl, time.Now()); err != nil {
+		log.Printf("state save failed: %v", err)
+	}
+}

@@ -1,0 +1,107 @@
+// Command logstats is the log-crawler half of the paper's methodology:
+// it parses a CR decision log (as emitted by the engines' event sink)
+// and prints the aggregated statistics — the role the authors' Python
+// scripts + Postgres played over the MTAs' daily logs.
+//
+//	logstats < cr.log            # aggregate an existing log
+//	logstats -demo               # simulate a small fleet, log it, parse it
+//	logstats -per-company < cr.log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/maillog"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		demo       = flag.Bool("demo", false, "simulate a small fleet and analyze its own log")
+		perCompany = flag.Bool("per-company", false, "print one row per company")
+		seed       = flag.Int64("seed", 1, "demo fleet seed")
+	)
+	flag.Parse()
+
+	var input io.Reader = os.Stdin
+	if *demo {
+		var sb strings.Builder
+		w := maillog.NewWriter(&sb)
+		cfg := workload.DefaultConfig(*seed, 4)
+		for i := range cfg.Profiles {
+			cfg.Profiles[i].Users = 15
+			cfg.Profiles[i].DailyVolume = 400
+		}
+		cfg.LogSink = w.Write
+		fleet := workload.NewFleet(cfg)
+		fleet.Run(2)
+		if err := w.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "demo fleet logged %d events\n\n", w.Count())
+		input = strings.NewReader(sb.String())
+	}
+
+	agg, err := maillog.ParseAll(input)
+	if err != nil {
+		log.Fatalf("parse: %v", err)
+	}
+	if agg.Lines == 0 {
+		fmt.Fprintln(os.Stderr, "no log lines on stdin (use -demo for a synthetic run)")
+		os.Exit(1)
+	}
+
+	tot := agg.Total()
+	t := &report.Table{Title: "Log-derived statistics", Headers: []string{"Metric", "Value"}}
+	t.AddRow("Log lines", agg.Lines)
+	t.AddRow("Unparsable lines", agg.BadLines)
+	t.AddRow("Incoming messages", tot.Incoming)
+	reasons := make([]string, 0, len(tot.MTADrops))
+	for r := range tot.MTADrops {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	for _, r := range reasons {
+		t.AddRow("MTA drop: "+r, tot.MTADrops[r])
+	}
+	for _, s := range []string{"white", "black", "gray"} {
+		t.AddRow("Spool: "+s, tot.Spools[s])
+	}
+	filters := make([]string, 0, len(tot.FilterDrops))
+	for f := range tot.FilterDrops {
+		filters = append(filters, f)
+	}
+	sort.Strings(filters)
+	for _, f := range filters {
+		t.AddRow("Filter drop: "+f, tot.FilterDrops[f])
+	}
+	t.AddRow("Challenges sent", tot.Challenges)
+	for _, v := range []string{"whitelist", "challenge", "digest"} {
+		t.AddRow("Delivered via "+v, tot.Deliveries[v])
+	}
+	t.AddRow("Challenge-page visits", tot.WebVisits)
+	t.AddRow("CAPTCHA solves", tot.WebSolves)
+	t.AddRow("Reflection ratio (CR)", fmt.Sprintf("%.1f%%", tot.ReflectionRatio()*100))
+	t.AddRow("Solve rate", fmt.Sprintf("%.1f%%", tot.SolveRate()*100))
+	fmt.Println(t.Render())
+
+	if *perCompany {
+		ct := &report.Table{
+			Title:   "Per company",
+			Headers: []string{"Company", "Incoming", "Gray", "Challenges", "Reflection", "Solves"},
+		}
+		for _, name := range agg.Companies() {
+			c := agg.ByCompany[name]
+			ct.AddRow(name, c.Incoming, c.Spools["gray"], c.Challenges,
+				fmt.Sprintf("%.1f%%", c.ReflectionRatio()*100), c.WebSolves)
+		}
+		fmt.Println(ct.Render())
+	}
+}

@@ -1,0 +1,90 @@
+// Command reproduce runs the full measurement reproduction: it builds the
+// synthetic 47-company fleet, simulates the monitoring period, and prints
+// every table and figure from the paper's evaluation (see DESIGN.md §3
+// for the experiment index and EXPERIMENTS.md for paper-vs-measured).
+//
+// Usage:
+//
+//	reproduce                  # standard run: 47 companies, 30 days
+//	reproduce -preset quick    # small fast run (benchmarks' preset)
+//	reproduce -days 60 -seed 7 # custom
+//	reproduce -only fig4a      # a single artifact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		preset      = flag.String("preset", "standard", "run size: quick | standard")
+		seed        = flag.Int64("seed", 42, "simulation seed (equal seeds reproduce exactly)")
+		companies   = flag.Int("companies", 0, "override company count")
+		days        = flag.Int("days", 0, "override simulated days")
+		only        = flag.String("only", "", "render one artifact: fig1|table1|fig4a|fig4b|ratios|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|ablations")
+		sensitivity = flag.Int("sensitivity", 0, "instead of one run, simulate N seeds and print the cross-seed stability table")
+	)
+	flag.Parse()
+
+	if *sensitivity > 0 {
+		fmt.Fprintf(os.Stderr, "running %d independently-seeded quick fleets...\n", *sensitivity)
+		fmt.Println(experiments.Sensitivity(*seed, *sensitivity).Render())
+		return
+	}
+
+	var cfg experiments.RunConfig
+	switch *preset {
+	case "quick":
+		cfg = experiments.Quick(*seed)
+	case "standard":
+		cfg = experiments.Standard(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown preset %q\n", *preset)
+		os.Exit(2)
+	}
+	if *companies > 0 {
+		cfg.Companies = *companies
+	}
+	if *days > 0 {
+		cfg.Days = *days
+	}
+
+	fmt.Fprintf(os.Stderr, "building fleet: %d companies, %d simulated days, seed %d...\n",
+		cfg.Companies, cfg.Days, cfg.Seed)
+	start := time.Now()
+	run := experiments.NewRun(cfg)
+	fmt.Fprintf(os.Stderr, "simulation complete in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	renderers := map[string]func(*experiments.Run) string{
+		"fig1":      experiments.RenderLifecycle,
+		"table1":    experiments.RenderGeneral,
+		"fig4a":     experiments.RenderDeliveryStatus,
+		"fig4b":     experiments.RenderCaptchaTries,
+		"ratios":    experiments.RenderRatios,
+		"fig5":      experiments.RenderCorrelations,
+		"fig6":      experiments.RenderClustering,
+		"fig7":      experiments.RenderDelayCDF,
+		"fig8":      experiments.RenderSolveTime,
+		"fig9":      experiments.RenderChurn,
+		"fig10":     experiments.RenderDailyPending,
+		"fig11":     experiments.RenderBlacklisting,
+		"fig12":     experiments.RenderSPF,
+		"ablations": experiments.RenderAblations,
+	}
+	if *only != "" {
+		f, ok := renderers[strings.ToLower(*only)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown artifact %q\n", *only)
+			os.Exit(2)
+		}
+		fmt.Println(f(run))
+		return
+	}
+	fmt.Println(experiments.RenderAll(run))
+}

@@ -1,0 +1,138 @@
+// Backscatter: how challenge traffic gets a server blacklisted (§5.1).
+//
+// A company's CR filter answers spam with challenges; some of the spoofed
+// sender addresses are spamtraps feeding eight DNS blocklists. The
+// example shows the full §5.1 mechanism: trap hits accumulate, providers
+// list the challenge IP, destination servers that consult those lists
+// start bouncing BOTH challenges and — on a shared MTA-OUT — ordinary
+// user mail. A second company with a split MTA-OUT (own IP for
+// challenges) keeps its user mail flowing: the design choice a third of
+// the study's installations made.
+//
+//	go run ./examples/backscatter
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/dnssim"
+	"repro/internal/filters"
+	"repro/internal/mail"
+	"repro/internal/rbl"
+	"repro/internal/simnet"
+	"repro/internal/whitelist"
+)
+
+func main() {
+	clk := clock.NewSim(time.Date(2010, 9, 1, 0, 0, 0, 0, time.UTC))
+	sched := clock.NewScheduler(clk)
+	dns := dnssim.NewServer()
+	providers := rbl.StandardProviders(clk)
+	traps := rbl.NewTrapRegistry(providers...)
+	net := simnet.New(clk, sched, dns, providers, traps, simnet.Config{Seed: 5})
+	checker := rbl.NewChecker(providers...)
+
+	mkCompany := func(name, challengeIP, mailIP string) *simnet.Company {
+		eng := core.New(core.Config{
+			Name:             name,
+			Domains:          []string{name + ".example"},
+			ChallengeFrom:    mail.Address{Local: "challenge", Domain: name + ".example"},
+			ChallengeBaseURL: "http://cr." + name + ".example",
+		}, clk, dns, filters.NewChain(), whitelist.NewStore(clk), nil)
+		dns.RegisterMailDomain(name+".example", challengeIP)
+		for i := 0; i < 10; i++ {
+			eng.AddUser(mail.Address{Local: fmt.Sprintf("u%d", i), Domain: name + ".example"})
+		}
+		c := &simnet.Company{Name: name, Engine: eng, ChallengeIP: challengeIP, MailIP: mailIP}
+		net.AttachCompany(c)
+		return c
+	}
+	shared := mkCompany("shared", "198.51.100.1", "198.51.100.1") // one IP for everything
+	split := mkCompany("split", "198.51.100.2", "198.51.100.3")   // challenges isolated
+
+	// A partner domain that screens inbound mail against SpamHaus.
+	partner := simnet.NewRemoteServer("partner.example", "192.0.2.50")
+	partner.Screen = providers[2] // spamhaus
+	partner.AddMailbox("client", simnet.PersonaLegit)
+	net.AddRemote(partner)
+
+	// A lure domain carrying spamtraps (it looks like any other domain).
+	lure := simnet.NewRemoteServer("lure.example", "203.0.113.9")
+	net.AddRemote(lure)
+	for i := 0; i < 20; i++ {
+		traps.AddTrap(mail.Address{Local: fmt.Sprintf("trap%02d", i), Domain: "lure.example"})
+	}
+
+	clientAddr := mail.MustParseAddress("client@partner.example")
+	sendUserMail := func(c *simnet.Company) simnet.UserMailOutcome {
+		return net.SendUserMail(c, clientAddr)
+	}
+
+	fmt.Println("before any backscatter:")
+	fmt.Printf("  shared-IP user mail to partner: %v\n", outcome(sendUserMail(shared)))
+	fmt.Printf("  split-IP  user mail to partner: %v\n\n", outcome(sendUserMail(split)))
+
+	// Spam arrives at BOTH companies spoofing trap addresses; each engine
+	// dutifully challenges the "sender" — straight into the traps.
+	rng := rand.New(rand.NewSource(1))
+	fmt.Println("spam wave spoofing spamtrap senders hits both companies...")
+	for day := 0; day < 4; day++ {
+		for i := 0; i < 5; i++ {
+			for _, c := range []*simnet.Company{shared, split} {
+				msg := &mail.Message{
+					ID:           mail.NewID("spam"),
+					EnvelopeFrom: mail.Address{Local: fmt.Sprintf("trap%02d", rng.Intn(20)), Domain: "lure.example"},
+					Rcpt:         mail.Address{Local: fmt.Sprintf("u%d", rng.Intn(10)), Domain: c.Name + ".example"},
+					Subject:      "cheap watches best quality free shipping order now friend deal today",
+					Size:         3000,
+					ClientIP:     "100.64.0.9",
+					Received:     clk.Now(),
+				}
+				c.Engine.Receive(msg)
+			}
+		}
+		sched.RunFor(24 * time.Hour)
+		checker.Poll([]string{shared.ChallengeIP, split.ChallengeIP, shared.MailIP, split.MailIP})
+		fmt.Printf("  day %d: trap hits=%d; spamhaus lists shared-IP=%v split-challenge-IP=%v split-mail-IP=%v\n",
+			day+1, traps.Hits(),
+			providers[2].IsListed(shared.ChallengeIP),
+			providers[2].IsListed(split.ChallengeIP),
+			providers[2].IsListed(split.MailIP))
+	}
+
+	fmt.Println("\nafter the wave:")
+	fmt.Printf("  shared-IP user mail to partner: %v   <- collateral damage\n", outcome(sendUserMail(shared)))
+	fmt.Printf("  split-IP  user mail to partner: %v   <- shielded by the second MTA-OUT\n\n", outcome(sendUserMail(split)))
+
+	st := net.DeliveryStats()
+	fmt.Printf("challenge fates: delivered=%d (of which traps=%d) bounced-blacklisted=%d\n",
+		st.ByStatus[simnet.StatusDelivered], st.TrapHits, st.ByStatus[simnet.StatusBouncedBlacklisted])
+
+	// Recovery: listings expire once the spam wave stops.
+	fmt.Println("\nwave stops; waiting out the listing TTLs...")
+	for day := 4; day < 12; day++ {
+		sched.RunFor(24 * time.Hour)
+		checker.Poll([]string{shared.ChallengeIP})
+	}
+	fmt.Printf("shared IP listed now: %v; listed fraction over %d polls: %.0f%%\n",
+		providers[2].IsListed(shared.ChallengeIP), checker.Polls(),
+		100*checker.ListedFraction(shared.ChallengeIP))
+	fmt.Printf("user mail flows again: %v\n", outcome(sendUserMail(shared)))
+}
+
+func outcome(o simnet.UserMailOutcome) string {
+	switch o {
+	case simnet.UserMailDelivered:
+		return "DELIVERED"
+	case simnet.UserMailBouncedBlacklisted:
+		return "BOUNCED (sender IP blacklisted)"
+	case simnet.UserMailBouncedNoUser:
+		return "bounced (no such user)"
+	default:
+		return "failed"
+	}
+}

@@ -1,0 +1,180 @@
+package adminui
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/dnssim"
+	"repro/internal/filters"
+	"repro/internal/mail"
+	"repro/internal/whitelist"
+)
+
+var t0 = time.Date(2010, 7, 1, 9, 0, 0, 0, time.UTC)
+
+// fixture builds an engine with one quarantined message for bob.
+func fixture(t *testing.T) (*core.Engine, *clock.Sim, *mail.Message, *httptest.Server) {
+	t.Helper()
+	clk := clock.NewSim(t0)
+	dns := dnssim.NewServer()
+	dns.RegisterMailDomain("example.com", "192.0.2.10")
+	dns.AddPTR("192.0.2.10", "mail.example.com")
+	eng := core.New(core.Config{
+		Name:             "ui",
+		Domains:          []string{"corp.example"},
+		ChallengeFrom:    mail.MustParseAddress("challenge@corp.example"),
+		ChallengeBaseURL: "http://cr.corp.example",
+	}, clk, dns, filters.NewChain(filters.NewReverseDNS(dns)), whitelist.NewStore(clk),
+		func(core.OutboundChallenge) {})
+	eng.AddUser(mail.MustParseAddress("bob@corp.example"))
+
+	msg := &mail.Message{
+		ID:           mail.NewID("ui"),
+		EnvelopeFrom: mail.MustParseAddress("newsletter@news.example"),
+		Rcpt:         mail.MustParseAddress("bob@corp.example"),
+		Subject:      "weekly digest of interesting things",
+		Size:         4000,
+		ClientIP:     "192.0.2.10",
+		Received:     clk.Now(),
+	}
+	dns.RegisterMailDomain("news.example", "192.0.2.30")
+	if v := eng.Receive(msg); v != core.Accepted {
+		t.Fatalf("fixture message verdict %v", v)
+	}
+	srv := httptest.NewServer(New(eng).Handler())
+	t.Cleanup(srv.Close)
+	return eng, clk, msg, srv
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, string(body)
+}
+
+func post(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, string(body)
+}
+
+func TestDigestPageListsPending(t *testing.T) {
+	_, _, msg, srv := fixture(t)
+	code, body := get(t, srv.URL+"/digest/bob@corp.example")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	for _, want := range []string{"bob@corp.example", msg.ID, "newsletter@news.example", "weekly digest", "Authorize", "Delete"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("digest page missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestDigestPageEmptyState(t *testing.T) {
+	eng, _, msg, srv := fixture(t)
+	if err := eng.DeleteFromDigest(mail.MustParseAddress("bob@corp.example"), msg.ID); err != nil {
+		t.Fatal(err)
+	}
+	code, body := get(t, srv.URL+"/digest/bob@corp.example")
+	if code != http.StatusOK || !strings.Contains(body, "Nothing pending") {
+		t.Fatalf("empty digest: %d\n%s", code, body)
+	}
+}
+
+func TestAuthorizeDeliversAndWhitelists(t *testing.T) {
+	eng, clk, msg, srv := fixture(t)
+	clk.Advance(26 * time.Hour)
+	code, body := post(t, srv.URL+"/digest/bob@corp.example/authorize?msg="+msg.ID)
+	if code != http.StatusOK || !strings.Contains(body, "whitelisted") {
+		t.Fatalf("authorize: %d %q", code, body)
+	}
+	bob := mail.MustParseAddress("bob@corp.example")
+	if !eng.Whitelists().IsWhite(bob, msg.EnvelopeFrom) {
+		t.Fatal("sender not whitelisted")
+	}
+	ds := eng.Deliveries()
+	if len(ds) != 1 || ds[0].Via != core.ViaDigest || ds[0].Delay() != 26*time.Hour {
+		t.Fatalf("deliveries = %+v", ds)
+	}
+	// Second authorize: 404 (already gone).
+	code, _ = post(t, srv.URL+"/digest/bob@corp.example/authorize?msg="+msg.ID)
+	if code != http.StatusNotFound {
+		t.Fatalf("double authorize status = %d", code)
+	}
+}
+
+func TestDeleteDropsQuarantine(t *testing.T) {
+	eng, _, msg, srv := fixture(t)
+	code, _ := post(t, srv.URL+"/digest/bob@corp.example/delete?msg="+msg.ID)
+	if code != http.StatusOK {
+		t.Fatalf("delete status = %d", code)
+	}
+	if eng.QuarantineLen() != 0 {
+		t.Fatal("quarantine not emptied")
+	}
+	if eng.Metrics().DigestDeleted != 1 {
+		t.Fatal("delete not counted")
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	_, _, msg, srv := fixture(t)
+	cases := []struct {
+		method, path string
+		want         int
+	}{
+		{"GET", "/digest/", http.StatusNotFound},
+		{"GET", "/digest/not-an-address", http.StatusBadRequest},
+		{"GET", "/digest/ghost@corp.example", http.StatusNotFound},
+		{"POST", "/digest/bob@corp.example/authorize", http.StatusBadRequest}, // no msg
+		{"POST", "/digest/bob@corp.example/authorize?msg=m-none", http.StatusNotFound},
+		{"POST", "/digest/bob@corp.example", http.StatusMethodNotAllowed},                        // POST digest page
+		{"GET", "/digest/bob@corp.example/authorize?msg=" + msg.ID, http.StatusMethodNotAllowed}, // GET action
+		{"GET", "/digest/bob@corp.example/frobnicate", http.StatusNotFound},
+	}
+	for _, c := range cases {
+		req, _ := http.NewRequest(c.method, srv.URL+c.path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s %s = %d, want %d", c.method, c.path, resp.StatusCode, c.want)
+		}
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, _, _, srv := fixture(t)
+	code, body := get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	for _, want := range []string{"incoming 1", "spool_gray 1", "challenges_sent 1", "quarantine_len 1"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+	// POST not allowed.
+	if code, _ := post(t, srv.URL+"/metrics"); code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST metrics = %d", code)
+	}
+}

@@ -1,0 +1,389 @@
+// Package captcha implements the challenge web service of the CR product.
+//
+// When the dispatcher decides to challenge a message, it creates a
+// Challenge here and embeds its URL in the challenge email. The sender
+// proves legitimacy by opening the URL (a *visit*, tracked because the
+// paper reports that 94% of delivered challenge URLs were never opened)
+// and solving a CAPTCHA (tracked per attempt — Figure 4(b) reports the
+// attempts histogram and notes that no solve ever took more than five
+// tries, evidence that nobody was attacking the CAPTCHAs automatically).
+//
+// The CAPTCHA itself is a simple obfuscated-arithmetic puzzle: what
+// matters for the measurement reproduction is the bookkeeping (visits,
+// attempts, solve timestamps, expiry), not the pixel-level hardness.
+package captcha
+
+import (
+	"errors"
+	"fmt"
+	"html/template"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/mail"
+)
+
+// Service errors.
+var (
+	// ErrUnknownToken is returned for a token that does not exist.
+	ErrUnknownToken = errors.New("captcha: unknown challenge token")
+	// ErrExpired is returned when the challenge's quarantine window ended.
+	ErrExpired = errors.New("captcha: challenge expired")
+	// ErrAlreadySolved is returned on a second solve of the same token.
+	ErrAlreadySolved = errors.New("captcha: challenge already solved")
+	// ErrWrongAnswer is returned for an incorrect CAPTCHA answer.
+	ErrWrongAnswer = errors.New("captcha: wrong answer")
+	// ErrLocked is returned once a challenge used up its attempt budget.
+	// The paper never observed more than five attempts on a solve —
+	// evidence nobody brute-forced the CAPTCHAs — and a lockout is the
+	// corresponding defence if someone tried.
+	ErrLocked = errors.New("captcha: too many failed attempts")
+)
+
+// Challenge is the server-side state of one outstanding challenge.
+type Challenge struct {
+	// Token is the unguessable identifier embedded in the challenge URL.
+	Token string
+	// MsgID is the quarantined message this challenge guards.
+	MsgID string
+	// Recipient is the protected user the message was addressed to.
+	Recipient mail.Address
+	// Sender is the (possibly spoofed) envelope sender the challenge
+	// email was sent to.
+	Sender mail.Address
+	// Created is when the dispatcher issued the challenge.
+	Created time.Time
+	// Expires is when the quarantined message is dropped (30 days in the
+	// product under study).
+	Expires time.Time
+
+	// Question is the human-readable puzzle; answer is kept private.
+	Question string
+	answer   string
+
+	// Visits counts GETs of the challenge URL.
+	Visits int
+	// Attempts counts answer submissions (right or wrong).
+	Attempts int
+	// SolvedAt is the solve time (zero if unsolved).
+	SolvedAt time.Time
+}
+
+// Solved reports whether the challenge has been solved.
+func (c *Challenge) Solved() bool { return !c.SolvedAt.IsZero() }
+
+// Visited reports whether the challenge URL was ever opened.
+func (c *Challenge) Visited() bool { return c.Visits > 0 }
+
+// SolveFunc is invoked (synchronously, without the service lock held)
+// when a challenge is solved so the dispatcher can whitelist the sender
+// and release the quarantined message.
+type SolveFunc func(ch *Challenge)
+
+// Service stores challenges and verifies solutions. Safe for concurrent use.
+type Service struct {
+	clk         clock.Clock
+	ttl         time.Duration
+	onSolved    SolveFunc
+	onVisit     SolveFunc
+	maxAttempts int
+	rng         *rand.Rand
+
+	mu     sync.Mutex
+	byTok  map[string]*Challenge
+	byMsg  map[string]*Challenge
+	issued int64
+	solved int64
+}
+
+// Config parameterises a Service.
+type Config struct {
+	// Clock supplies timestamps; required.
+	Clock clock.Clock
+	// TTL is the challenge lifetime; the product used 30 days.
+	TTL time.Duration
+	// OnSolved is called for each successful solve; may be nil.
+	OnSolved SolveFunc
+	// OnVisit is called on each challenge-page visit; may be nil. The
+	// measurement pipeline uses it to reproduce the web server's access
+	// log, which is where the paper's visit/solve statistics came from.
+	OnVisit SolveFunc
+	// Seed drives puzzle generation; runs with equal seeds issue
+	// identical puzzles (for reproducibility).
+	Seed int64
+	// MaxAttempts locks a challenge after this many answer submissions
+	// (0 = unlimited). Locked challenges stay quarantined and can still
+	// be rescued from the digest.
+	MaxAttempts int
+}
+
+// DefaultTTL is the product's 30-day quarantine window.
+const DefaultTTL = 30 * 24 * time.Hour
+
+// NewService returns an empty challenge service.
+func NewService(cfg Config) *Service {
+	if cfg.Clock == nil {
+		panic("captcha: Config.Clock is required")
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = DefaultTTL
+	}
+	return &Service{
+		clk:         cfg.Clock,
+		ttl:         cfg.TTL,
+		onSolved:    cfg.OnSolved,
+		onVisit:     cfg.OnVisit,
+		maxAttempts: cfg.MaxAttempts,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		byTok:       make(map[string]*Challenge),
+		byMsg:       make(map[string]*Challenge),
+	}
+}
+
+// Issue creates a challenge guarding msgID, addressed to sender on behalf
+// of recipient, and returns it. One challenge exists per message; issuing
+// twice for the same msgID returns the existing challenge.
+func (s *Service) Issue(msgID string, recipient, sender mail.Address) *Challenge {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ch, ok := s.byMsg[msgID]; ok {
+		return ch
+	}
+	now := s.clk.Now()
+	a, b := s.rng.Intn(90)+10, s.rng.Intn(9)+1
+	tok := fmt.Sprintf("tok-%08x-%04x", s.rng.Uint32(), len(s.byTok))
+	ch := &Challenge{
+		Token:     tok,
+		MsgID:     msgID,
+		Recipient: recipient,
+		Sender:    sender,
+		Created:   now,
+		Expires:   now.Add(s.ttl),
+		Question:  fmt.Sprintf("What is %d plus %d? (digits only)", a, b),
+		answer:    strconv.Itoa(a + b),
+	}
+	s.byTok[tok] = ch
+	s.byMsg[msgID] = ch
+	s.issued++
+	return ch
+}
+
+// URL returns the challenge URL to embed in the challenge email, given
+// the web server's base (e.g. "http://cr.corp.example:8080").
+func (s *Service) URL(base, token string) string {
+	return strings.TrimSuffix(base, "/") + "/challenge/" + token
+}
+
+// get returns the challenge for token, or an error.
+func (s *Service) get(token string) (*Challenge, error) {
+	ch, ok := s.byTok[token]
+	if !ok {
+		return nil, ErrUnknownToken
+	}
+	if s.clk.Now().After(ch.Expires) {
+		return nil, fmt.Errorf("%w: token %s", ErrExpired, token)
+	}
+	return ch, nil
+}
+
+// Visit records that the challenge URL was opened and returns the puzzle
+// question. This is the server-side equivalent of a GET.
+func (s *Service) Visit(token string) (string, error) {
+	s.mu.Lock()
+	ch, err := s.get(token)
+	if err != nil {
+		s.mu.Unlock()
+		return "", err
+	}
+	ch.Visits++
+	question := ch.Question
+	cb := s.onVisit
+	s.mu.Unlock()
+	if cb != nil {
+		cb(ch)
+	}
+	return question, nil
+}
+
+// Answer returns the expected answer for token. Test and simulation
+// helper: the simulated "human" sender uses it to model solving.
+func (s *Service) Answer(token string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch, err := s.get(token)
+	if err != nil {
+		return "", err
+	}
+	return ch.answer, nil
+}
+
+// Solve submits an answer. On success it marks the challenge solved and
+// invokes the OnSolved callback. Every call counts as an attempt.
+func (s *Service) Solve(token, answer string) error {
+	s.mu.Lock()
+	ch, err := s.get(token)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	if ch.Solved() {
+		s.mu.Unlock()
+		return ErrAlreadySolved
+	}
+	if s.maxAttempts > 0 && ch.Attempts >= s.maxAttempts {
+		s.mu.Unlock()
+		return fmt.Errorf("%w (limit %d)", ErrLocked, s.maxAttempts)
+	}
+	ch.Attempts++
+	if strings.TrimSpace(answer) != ch.answer {
+		s.mu.Unlock()
+		return ErrWrongAnswer
+	}
+	ch.SolvedAt = s.clk.Now()
+	s.solved++
+	cb := s.onSolved
+	s.mu.Unlock()
+	if cb != nil {
+		cb(ch)
+	}
+	return nil
+}
+
+// ByMessage returns the challenge guarding msgID, or nil.
+func (s *Service) ByMessage(msgID string) *Challenge {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.byMsg[msgID]
+}
+
+// Drop removes the challenge guarding msgID (quarantine expiry or digest
+// delete). It is a no-op for unknown IDs.
+func (s *Service) Drop(msgID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ch, ok := s.byMsg[msgID]; ok {
+		delete(s.byTok, ch.Token)
+		delete(s.byMsg, msgID)
+	}
+}
+
+// Stats summarises the service state for the measurement pipeline.
+type Stats struct {
+	Issued       int64
+	Solved       int64
+	Outstanding  int
+	NeverVisited int // issued, unsolved, never opened
+	VisitedOnly  int // opened but not solved
+}
+
+// Stats returns a snapshot.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{Issued: s.issued, Solved: s.solved, Outstanding: len(s.byTok)}
+	for _, ch := range s.byTok {
+		if ch.Solved() {
+			continue
+		}
+		if ch.Visited() {
+			st.VisitedOnly++
+		} else {
+			st.NeverVisited++
+		}
+	}
+	return st
+}
+
+// Each calls fn for every outstanding challenge (snapshot; fn runs
+// without the lock).
+func (s *Service) Each(fn func(*Challenge)) {
+	s.mu.Lock()
+	snapshot := make([]*Challenge, 0, len(s.byTok))
+	for _, ch := range s.byTok {
+		snapshot = append(snapshot, ch)
+	}
+	s.mu.Unlock()
+	for _, ch := range snapshot {
+		fn(ch)
+	}
+}
+
+var pageTmpl = template.Must(template.New("challenge").Parse(`<!DOCTYPE html>
+<html><head><title>Confirm your message</title></head><body>
+<h1>Please confirm you are human</h1>
+<p>Your message to {{.Recipient}} is waiting for delivery.</p>
+<p><strong>{{.Question}}</strong></p>
+<form method="POST"><input name="answer"><button>Submit</button></form>
+</body></html>
+`))
+
+// Handler returns an http.Handler serving the challenge pages:
+//
+//	GET  /challenge/{token}  — show the puzzle (records a visit)
+//	POST /challenge/{token}  — submit the answer (form field "answer")
+//
+// It is the web server whose access logs the paper mined for the solve
+// and visit statistics.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/challenge/", func(w http.ResponseWriter, r *http.Request) {
+		token := strings.TrimPrefix(r.URL.Path, "/challenge/")
+		if token == "" || strings.Contains(token, "/") {
+			http.NotFound(w, r)
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+			question, err := s.Visit(token)
+			if err != nil {
+				httpError(w, err)
+				return
+			}
+			s.mu.Lock()
+			ch := s.byTok[token]
+			s.mu.Unlock()
+			w.Header().Set("Content-Type", "text/html; charset=utf-8")
+			_ = pageTmpl.Execute(w, map[string]string{
+				"Recipient": ch.Recipient.String(),
+				"Question":  question,
+			})
+		case http.MethodPost:
+			if err := r.ParseForm(); err != nil {
+				http.Error(w, "bad form", http.StatusBadRequest)
+				return
+			}
+			err := s.Solve(token, r.PostFormValue("answer"))
+			switch {
+			case err == nil:
+				fmt.Fprintln(w, "Thank you. Your message has been delivered.")
+			case errors.Is(err, ErrWrongAnswer):
+				http.Error(w, "wrong answer, try again", http.StatusForbidden)
+			case errors.Is(err, ErrLocked):
+				http.Error(w, "too many failed attempts", http.StatusTooManyRequests)
+			case errors.Is(err, ErrAlreadySolved):
+				fmt.Fprintln(w, "Already confirmed.")
+			default:
+				httpError(w, err)
+			}
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	return mux
+}
+
+func httpError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrUnknownToken):
+		http.Error(w, "no such challenge", http.StatusNotFound)
+	case errors.Is(err, ErrExpired):
+		http.Error(w, "challenge expired", http.StatusGone)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,392 @@
+package captcha
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/mail"
+)
+
+var (
+	t0    = time.Date(2010, 7, 1, 0, 0, 0, 0, time.UTC)
+	rcpt  = mail.MustParseAddress("bob@corp.example")
+	sendr = mail.MustParseAddress("alice@example.com")
+)
+
+func newSvc(clk clock.Clock, onSolved SolveFunc) *Service {
+	return NewService(Config{Clock: clk, TTL: DefaultTTL, OnSolved: onSolved, Seed: 42})
+}
+
+func TestIssueAndSolve(t *testing.T) {
+	clk := clock.NewSim(t0)
+	var solvedCh *Challenge
+	s := newSvc(clk, func(ch *Challenge) { solvedCh = ch })
+
+	ch := s.Issue("m-1", rcpt, sendr)
+	if ch.Token == "" || ch.Solved() || ch.Visited() {
+		t.Fatalf("fresh challenge state wrong: %+v", ch)
+	}
+	if !ch.Expires.Equal(t0.Add(DefaultTTL)) {
+		t.Fatalf("Expires = %v", ch.Expires)
+	}
+
+	q, err := s.Visit(ch.Token)
+	if err != nil || !strings.Contains(q, "plus") {
+		t.Fatalf("Visit: %q, %v", q, err)
+	}
+	ans, err := s.Answer(ch.Token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(17 * time.Minute)
+	if err := s.Solve(ch.Token, ans); err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if solvedCh == nil || solvedCh.MsgID != "m-1" {
+		t.Fatal("OnSolved callback not invoked")
+	}
+	if !ch.SolvedAt.Equal(t0.Add(17 * time.Minute)) {
+		t.Fatalf("SolvedAt = %v", ch.SolvedAt)
+	}
+	if ch.Attempts != 1 || ch.Visits != 1 {
+		t.Fatalf("attempts=%d visits=%d", ch.Attempts, ch.Visits)
+	}
+}
+
+func TestIssueIdempotentPerMessage(t *testing.T) {
+	s := newSvc(clock.NewSim(t0), nil)
+	ch1 := s.Issue("m-1", rcpt, sendr)
+	ch2 := s.Issue("m-1", rcpt, sendr)
+	if ch1 != ch2 {
+		t.Fatal("second Issue for same message returned a new challenge")
+	}
+	if s.Stats().Issued != 1 {
+		t.Fatalf("Issued = %d, want 1", s.Stats().Issued)
+	}
+}
+
+func TestWrongAnswerCountsAttempt(t *testing.T) {
+	s := newSvc(clock.NewSim(t0), nil)
+	ch := s.Issue("m-1", rcpt, sendr)
+	if err := s.Solve(ch.Token, "999999"); !errors.Is(err, ErrWrongAnswer) {
+		t.Fatalf("err = %v, want ErrWrongAnswer", err)
+	}
+	ans, _ := s.Answer(ch.Token)
+	if err := s.Solve(ch.Token, ans); err != nil {
+		t.Fatal(err)
+	}
+	if ch.Attempts != 2 {
+		t.Fatalf("Attempts = %d, want 2", ch.Attempts)
+	}
+}
+
+func TestSolveTwice(t *testing.T) {
+	s := newSvc(clock.NewSim(t0), nil)
+	ch := s.Issue("m-1", rcpt, sendr)
+	ans, _ := s.Answer(ch.Token)
+	if err := s.Solve(ch.Token, ans); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Solve(ch.Token, ans); !errors.Is(err, ErrAlreadySolved) {
+		t.Fatalf("second solve err = %v", err)
+	}
+	if s.Stats().Solved != 1 {
+		t.Fatalf("Solved = %d", s.Stats().Solved)
+	}
+}
+
+func TestAnswerWhitespaceTolerant(t *testing.T) {
+	s := newSvc(clock.NewSim(t0), nil)
+	ch := s.Issue("m-1", rcpt, sendr)
+	ans, _ := s.Answer(ch.Token)
+	if err := s.Solve(ch.Token, "  "+ans+" \n"); err != nil {
+		t.Fatalf("whitespace-padded answer rejected: %v", err)
+	}
+}
+
+func TestAttemptLockout(t *testing.T) {
+	clk := clock.NewSim(t0)
+	s := NewService(Config{Clock: clk, MaxAttempts: 5, Seed: 9})
+	ch := s.Issue("m-1", rcpt, sendr)
+	for i := 0; i < 5; i++ {
+		if err := s.Solve(ch.Token, "wrong"); !errors.Is(err, ErrWrongAnswer) {
+			t.Fatalf("attempt %d err = %v", i+1, err)
+		}
+	}
+	// Sixth attempt — even with the right answer — is locked out.
+	ans, _ := s.Answer(ch.Token)
+	if err := s.Solve(ch.Token, ans); !errors.Is(err, ErrLocked) {
+		t.Fatalf("locked solve err = %v", err)
+	}
+	if ch.Solved() {
+		t.Fatal("locked challenge marked solved")
+	}
+	if ch.Attempts != 5 {
+		t.Fatalf("attempts = %d, want capped at 5", ch.Attempts)
+	}
+}
+
+func TestNoLockoutByDefault(t *testing.T) {
+	s := newSvc(clock.NewSim(t0), nil)
+	ch := s.Issue("m-1", rcpt, sendr)
+	for i := 0; i < 20; i++ {
+		if err := s.Solve(ch.Token, "wrong"); !errors.Is(err, ErrWrongAnswer) {
+			t.Fatalf("attempt %d err = %v", i+1, err)
+		}
+	}
+	ans, _ := s.Answer(ch.Token)
+	if err := s.Solve(ch.Token, ans); err != nil {
+		t.Fatalf("unlimited-attempt solve failed: %v", err)
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	clk := clock.NewSim(t0)
+	s := NewService(Config{Clock: clk, TTL: 30 * 24 * time.Hour, Seed: 1})
+	ch := s.Issue("m-1", rcpt, sendr)
+	clk.Advance(31 * 24 * time.Hour)
+	if _, err := s.Visit(ch.Token); !errors.Is(err, ErrExpired) {
+		t.Fatalf("Visit after expiry err = %v", err)
+	}
+	if err := s.Solve(ch.Token, "1"); !errors.Is(err, ErrExpired) {
+		t.Fatalf("Solve after expiry err = %v", err)
+	}
+}
+
+func TestUnknownToken(t *testing.T) {
+	s := newSvc(clock.NewSim(t0), nil)
+	if _, err := s.Visit("tok-nope"); !errors.Is(err, ErrUnknownToken) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDrop(t *testing.T) {
+	s := newSvc(clock.NewSim(t0), nil)
+	ch := s.Issue("m-1", rcpt, sendr)
+	if s.ByMessage("m-1") == nil {
+		t.Fatal("ByMessage lost the challenge")
+	}
+	s.Drop("m-1")
+	if s.ByMessage("m-1") != nil {
+		t.Fatal("challenge survives Drop")
+	}
+	if _, err := s.Visit(ch.Token); !errors.Is(err, ErrUnknownToken) {
+		t.Fatal("token survives Drop")
+	}
+	s.Drop("m-unknown") // must not panic
+}
+
+func TestStatsBuckets(t *testing.T) {
+	s := newSvc(clock.NewSim(t0), nil)
+	chA := s.Issue("m-a", rcpt, sendr) // never visited
+	chB := s.Issue("m-b", rcpt, sendr) // visited only
+	chC := s.Issue("m-c", rcpt, sendr) // solved
+	_ = chA
+	if _, err := s.Visit(chB.Token); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Visit(chC.Token); err != nil {
+		t.Fatal(err)
+	}
+	ans, _ := s.Answer(chC.Token)
+	if err := s.Solve(chC.Token, ans); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Issued != 3 || st.Solved != 1 || st.NeverVisited != 1 || st.VisitedOnly != 1 {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+func TestEach(t *testing.T) {
+	s := newSvc(clock.NewSim(t0), nil)
+	for i := 0; i < 5; i++ {
+		s.Issue(fmt.Sprintf("m-%d", i), rcpt, sendr)
+	}
+	n := 0
+	s.Each(func(*Challenge) { n++ })
+	if n != 5 {
+		t.Fatalf("Each visited %d, want 5", n)
+	}
+}
+
+func TestURL(t *testing.T) {
+	s := newSvc(clock.NewSim(t0), nil)
+	if got := s.URL("http://cr.example:8080/", "tok-1"); got != "http://cr.example:8080/challenge/tok-1" {
+		t.Fatalf("URL = %q", got)
+	}
+}
+
+func TestDeterministicPuzzles(t *testing.T) {
+	s1 := NewService(Config{Clock: clock.NewSim(t0), Seed: 7})
+	s2 := NewService(Config{Clock: clock.NewSim(t0), Seed: 7})
+	c1 := s1.Issue("m-1", rcpt, sendr)
+	c2 := s2.Issue("m-1", rcpt, sendr)
+	if c1.Question != c2.Question || c1.Token != c2.Token {
+		t.Fatal("equal seeds produced different challenges")
+	}
+}
+
+func TestHTTPHandlerFlow(t *testing.T) {
+	clk := clock.NewSim(t0)
+	solved := false
+	s := newSvc(clk, func(*Challenge) { solved = true })
+	ch := s.Issue("m-1", rcpt, sendr)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// GET shows the puzzle and records a visit.
+	resp, err := http.Get(srv.URL + "/challenge/" + ch.Token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "plus") {
+		t.Fatalf("GET status=%d body=%q", resp.StatusCode, body)
+	}
+	if ch.Visits != 1 {
+		t.Fatalf("Visits = %d after GET", ch.Visits)
+	}
+
+	// POST wrong answer: 403.
+	resp, err = http.PostForm(srv.URL+"/challenge/"+ch.Token, url.Values{"answer": {"0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("wrong answer status = %d", resp.StatusCode)
+	}
+
+	// POST right answer: 200 + callback.
+	ans, _ := s.Answer(ch.Token)
+	resp, err = http.PostForm(srv.URL+"/challenge/"+ch.Token, url.Values{"answer": {ans}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !solved {
+		t.Fatalf("solve status = %d solved=%v", resp.StatusCode, solved)
+	}
+}
+
+func TestHTTPHandlerErrors(t *testing.T) {
+	clk := clock.NewSim(t0)
+	s := newSvc(clk, nil)
+	ch := s.Issue("m-1", rcpt, sendr)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	get := func(path string) int {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/challenge/tok-missing"); code != http.StatusNotFound {
+		t.Fatalf("unknown token status = %d", code)
+	}
+	if code := get("/challenge/"); code != http.StatusNotFound {
+		t.Fatalf("empty token status = %d", code)
+	}
+	if code := get("/challenge/a/b"); code != http.StatusNotFound {
+		t.Fatalf("slash token status = %d", code)
+	}
+
+	// Method not allowed.
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/challenge/"+ch.Token, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE status = %d", resp.StatusCode)
+	}
+
+	// Expired challenge: 410 Gone.
+	clk.Advance(31 * 24 * time.Hour)
+	if code := get("/challenge/" + ch.Token); code != http.StatusGone {
+		t.Fatalf("expired status = %d", code)
+	}
+}
+
+func TestHTTPHandlerLockout(t *testing.T) {
+	clk := clock.NewSim(t0)
+	s := NewService(Config{Clock: clk, MaxAttempts: 2, Seed: 3})
+	ch := s.Issue("m-1", rcpt, sendr)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	postAnswer := func(ans string) int {
+		resp, err := http.PostForm(srv.URL+"/challenge/"+ch.Token, url.Values{"answer": {ans}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := postAnswer("wrong"); code != http.StatusForbidden {
+		t.Fatalf("attempt 1 = %d", code)
+	}
+	if code := postAnswer("wrong"); code != http.StatusForbidden {
+		t.Fatalf("attempt 2 = %d", code)
+	}
+	// Locked: even the correct answer is 429 now.
+	ans, _ := s.Answer(ch.Token)
+	if code := postAnswer(ans); code != http.StatusTooManyRequests {
+		t.Fatalf("locked attempt = %d, want 429", code)
+	}
+}
+
+func TestConcurrentSolves(t *testing.T) {
+	s := newSvc(clock.NewSim(t0), nil)
+	var tokens []string
+	for i := 0; i < 32; i++ {
+		ch := s.Issue(fmt.Sprintf("m-%d", i), rcpt, sendr)
+		tokens = append(tokens, ch.Token)
+	}
+	var wg sync.WaitGroup
+	for _, tok := range tokens {
+		wg.Add(1)
+		go func(tok string) {
+			defer wg.Done()
+			ans, err := s.Answer(tok)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := s.Solve(tok, ans); err != nil {
+				t.Error(err)
+			}
+		}(tok)
+	}
+	wg.Wait()
+	if got := s.Stats().Solved; got != 32 {
+		t.Fatalf("Solved = %d, want 32", got)
+	}
+}
+
+func BenchmarkIssueSolve(b *testing.B) {
+	s := newSvc(clock.NewSim(t0), nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ch := s.Issue(fmt.Sprintf("m-%d", i), rcpt, sendr)
+		ans, _ := s.Answer(ch.Token)
+		if err := s.Solve(ch.Token, ans); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

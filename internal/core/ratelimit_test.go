@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/dnssim"
+	"repro/internal/filters"
+	"repro/internal/mail"
+	"repro/internal/whitelist"
+)
+
+// rateEnv builds an engine with an hourly challenge cap.
+func rateEnv(t *testing.T, cap int) (*clock.Sim, *Engine, *[]OutboundChallenge) {
+	t.Helper()
+	clk := clock.NewSim(t0)
+	dns := dnssim.NewServer()
+	dns.RegisterMailDomain("example.com", "192.0.2.10")
+	dns.AddPTR("192.0.2.10", "mail.example.com")
+	var sent []OutboundChallenge
+	eng := New(Config{
+		Name:                 "rl",
+		Domains:              []string{"corp.example"},
+		ChallengeFrom:        mail.MustParseAddress("challenge@corp.example"),
+		ChallengeBaseURL:     "http://cr.corp.example",
+		MaxChallengesPerHour: cap,
+	}, clk, dns, filters.NewChain(), whitelist.NewStore(clk),
+		func(ch OutboundChallenge) { sent = append(sent, ch) })
+	eng.AddUser(mail.MustParseAddress("bob@corp.example"))
+	return clk, eng, &sent
+}
+
+func spamAt(clk *clock.Sim, i int) *mail.Message {
+	return &mail.Message{
+		ID:           mail.NewID("rl"),
+		EnvelopeFrom: mail.Address{Local: fmt.Sprintf("s%d", i), Domain: "example.com"},
+		Rcpt:         mail.MustParseAddress("bob@corp.example"),
+		Subject:      "rate limit test message",
+		Size:         2000,
+		ClientIP:     "192.0.2.10",
+		Received:     clk.Now(),
+	}
+}
+
+func TestChallengeRateCapEnforced(t *testing.T) {
+	clk, eng, sent := rateEnv(t, 5)
+	for i := 0; i < 12; i++ {
+		eng.Receive(spamAt(clk, i))
+	}
+	m := eng.Metrics()
+	if m.ChallengesSent != 5 {
+		t.Fatalf("ChallengesSent = %d, want 5 (capped)", m.ChallengesSent)
+	}
+	if m.ChallengeRateLimited != 7 {
+		t.Fatalf("ChallengeRateLimited = %d, want 7", m.ChallengeRateLimited)
+	}
+	if len(*sent) != 5 {
+		t.Fatalf("emitted = %d", len(*sent))
+	}
+	// All 12 messages are quarantined (rescuable from the digest).
+	if eng.QuarantineLen() != 12 {
+		t.Fatalf("quarantine = %d, want 12", eng.QuarantineLen())
+	}
+}
+
+func TestChallengeRateWindowResets(t *testing.T) {
+	clk, eng, _ := rateEnv(t, 3)
+	for i := 0; i < 5; i++ {
+		eng.Receive(spamAt(clk, i))
+	}
+	if got := eng.Metrics().ChallengesSent; got != 3 {
+		t.Fatalf("first window challenges = %d", got)
+	}
+	clk.Advance(61 * time.Minute)
+	for i := 10; i < 15; i++ {
+		eng.Receive(spamAt(clk, i))
+	}
+	m := eng.Metrics()
+	if m.ChallengesSent != 6 {
+		t.Fatalf("after window reset = %d, want 6", m.ChallengesSent)
+	}
+	if m.ChallengeRateLimited != 4 {
+		t.Fatalf("rate limited = %d, want 4", m.ChallengeRateLimited)
+	}
+}
+
+func TestNoCapByDefault(t *testing.T) {
+	clk, eng, _ := rateEnv(t, 0)
+	for i := 0; i < 50; i++ {
+		eng.Receive(spamAt(clk, i))
+	}
+	if got := eng.Metrics().ChallengesSent; got != 50 {
+		t.Fatalf("uncapped challenges = %d, want 50", got)
+	}
+}
+
+// TestRateLimitedMessagesStillRescuable: over-cap mail reaches the
+// digest and can be authorized.
+func TestRateLimitedMessagesStillRescuable(t *testing.T) {
+	clk, eng, _ := rateEnv(t, 1)
+	eng.Receive(spamAt(clk, 1))
+	held := spamAt(clk, 2)
+	eng.Receive(held) // over the cap
+	if eng.Metrics().ChallengeRateLimited != 1 {
+		t.Fatal("cap not applied")
+	}
+	bob := mail.MustParseAddress("bob@corp.example")
+	if err := eng.AuthorizeFromDigest(bob, held.ID); err != nil {
+		t.Fatalf("digest rescue failed: %v", err)
+	}
+	if eng.Metrics().Delivered[ViaDigest] != 1 {
+		t.Fatal("rescued message not delivered")
+	}
+}
+
+// TestRateLimitBoundsTrapExposure is the §6 attack scenario: an attacker
+// floods spoofed mail to force challenges at spamtraps; the cap bounds
+// the outbound challenge count no matter the flood size.
+func TestRateLimitBoundsTrapExposure(t *testing.T) {
+	clk, eng, sent := rateEnv(t, 10)
+	for i := 0; i < 500; i++ {
+		eng.Receive(spamAt(clk, i))
+	}
+	if len(*sent) != 10 {
+		t.Fatalf("attack forced %d challenges, cap was 10", len(*sent))
+	}
+	_ = clk
+}

@@ -1,0 +1,132 @@
+// Package digest builds the daily quarantine summaries the CR product
+// mails to each protected user.
+//
+// The digest is the manual escape hatch of a challenge-response system:
+// when a legitimate sender cannot or will not solve the challenge (most
+// automatically generated mail — newsletters, receipts, notifications),
+// the user can still rescue the message by authorizing it from the daily
+// digest. The paper measures that ~2% of gray-spool senders were
+// whitelisted this way (55,850 messages), with a delivery delay of 4 hours
+// to 3 days, and studies per-user daily digest sizes (Figure 10).
+package digest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/mail"
+)
+
+// Item is one quarantined message line in a digest.
+type Item struct {
+	MsgID   string
+	Sender  mail.Address
+	Subject string
+	Queued  time.Time
+}
+
+// Digest is the daily summary for one user.
+type Digest struct {
+	User  mail.Address
+	Date  time.Time // midnight of the digest day
+	Items []Item
+}
+
+// Render formats the digest as the plain-text email body the product
+// sends, one line per quarantined message.
+func (d *Digest) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Daily quarantine digest for %s — %s\r\n", d.User, d.Date.Format("2006-01-02"))
+	fmt.Fprintf(&b, "%d message(s) awaiting your decision:\r\n\r\n", len(d.Items))
+	for i, it := range d.Items {
+		fmt.Fprintf(&b, "%3d. [%s] %q from %s (queued %s)\r\n",
+			i+1, it.MsgID, it.Subject, it.Sender, it.Queued.Format("Jan 02 15:04"))
+	}
+	b.WriteString("\r\nReply with AUTHORIZE <n> or DELETE <n>.\r\n")
+	return b.String()
+}
+
+// Book records every digest generated, indexed by user and day, so the
+// Figure 10 analysis (daily pending-message counts per user) reads
+// directly from it. Safe for concurrent use.
+type Book struct {
+	mu      sync.Mutex
+	history map[string][]*Digest // by user key, in generation order
+}
+
+// NewBook returns an empty digest book.
+func NewBook() *Book {
+	return &Book{history: make(map[string][]*Digest)}
+}
+
+// Record builds the digest for user on day from the given pending items
+// and stores it. Items are sorted by queue time (oldest first) to match
+// the product's presentation. Empty digests are recorded too: a zero on
+// the Figure 10 time series is data, not absence of data.
+func (b *Book) Record(user mail.Address, day time.Time, items []Item) *Digest {
+	sorted := make([]Item, len(items))
+	copy(sorted, items)
+	sort.Slice(sorted, func(i, j int) bool {
+		if !sorted[i].Queued.Equal(sorted[j].Queued) {
+			return sorted[i].Queued.Before(sorted[j].Queued)
+		}
+		return sorted[i].MsgID < sorted[j].MsgID
+	})
+	d := &Digest{User: user, Date: day.Truncate(24 * time.Hour), Items: sorted}
+	b.mu.Lock()
+	b.history[user.Key()] = append(b.history[user.Key()], d)
+	b.mu.Unlock()
+	return d
+}
+
+// Series returns the daily pending counts for user, in order.
+func (b *Book) Series(user mail.Address) []int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	hs := b.history[user.Key()]
+	out := make([]int, len(hs))
+	for i, d := range hs {
+		out[i] = len(d.Items)
+	}
+	return out
+}
+
+// Latest returns the most recent digest for user, or nil.
+func (b *Book) Latest(user mail.Address) *Digest {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	hs := b.history[user.Key()]
+	if len(hs) == 0 {
+		return nil
+	}
+	return hs[len(hs)-1]
+}
+
+// Users returns the user keys with at least one digest, sorted.
+func (b *Book) Users() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.history))
+	for k := range b.history {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MeanSize returns the mean number of items across all digests of user,
+// or 0 if none.
+func (b *Book) MeanSize(user mail.Address) float64 {
+	s := b.Series(user)
+	if len(s) == 0 {
+		return 0
+	}
+	total := 0
+	for _, n := range s {
+		total += n
+	}
+	return float64(total) / float64(len(s))
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSensitivityAcrossSeeds verifies the headline findings are stable
+// properties of the modelled mechanisms, not artefacts of one seed.
+func TestSensitivityAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs multiple fleet simulations")
+	}
+	s := Sensitivity(100, 3)
+	if len(s.Seeds) != 3 {
+		t.Fatalf("seeds = %v", s.Seeds)
+	}
+	// Every world lands in the paper's neighbourhood.
+	if s.Reflection.Min() < 0.08 || s.Reflection.Max() > 0.35 {
+		t.Fatalf("reflection range [%v, %v] leaves the paper's neighbourhood",
+			s.Reflection.Min(), s.Reflection.Max())
+	}
+	if s.NoUser.Min() < 0.5 {
+		t.Fatalf("no-user bounce share dipped to %v", s.NoUser.Min())
+	}
+	if s.Solved.Max() > 0.15 {
+		t.Fatalf("solve rate spiked to %v", s.Solved.Max())
+	}
+	// And the cross-seed variability is modest: the conclusions do not
+	// flip between worlds.
+	if s.Reflection.Std() > 0.08 {
+		t.Fatalf("reflection std = %v; seed-dominated", s.Reflection.Std())
+	}
+	out := s.Render()
+	for _, want := range []string{"reflection R @ CR", "0.193", "paper", "servers never listed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+// Package filters implements the auxiliary anti-spam filters the CR
+// product runs on gray messages before deciding to send a challenge.
+//
+// The product under study chained three filters — an antivirus scan, a
+// reverse-DNS check, and a SpamHaus IP blacklist lookup — which together
+// dropped 77.5% of gray-spool messages (Table 1: rDNS 3.53M, RBL 4.97M,
+// AV 0.27M drops). §5.2 evaluates adding a fourth, SPF, which this package
+// also provides. Filters compose into a Chain that short-circuits on the
+// first Drop and keeps per-filter counters for the measurement pipeline.
+package filters
+
+import (
+	"strings"
+	"sync"
+
+	"repro/internal/dnssim"
+	"repro/internal/rbl"
+	"repro/internal/spf"
+
+	"repro/internal/mail"
+)
+
+// Verdict is a filter's decision about one message.
+type Verdict int
+
+// Verdicts.
+const (
+	// Pass lets the message continue down the chain.
+	Pass Verdict = iota
+	// Drop rejects the message; the dispatcher discards it silently
+	// (the product never bounces filter-dropped mail).
+	Drop
+)
+
+// String returns "pass" or "drop".
+func (v Verdict) String() string {
+	if v == Drop {
+		return "drop"
+	}
+	return "pass"
+}
+
+// Result is a verdict plus the filter's reason, recorded in the logs the
+// measurement pipeline aggregates.
+type Result struct {
+	Verdict Verdict
+	Reason  string
+}
+
+// Filter inspects one message. Implementations must be safe for
+// concurrent use.
+type Filter interface {
+	// Name identifies the filter in counters and reports.
+	Name() string
+	// Check returns the filter's verdict for msg.
+	Check(msg *mail.Message) Result
+}
+
+// Antivirus is a signature-matching scanner. The simulation embeds one of
+// the configured signatures in the body of virus-carrying messages, which
+// exercises the same code path a ClamAV-style engine would: a scan over
+// the body with a signature set.
+type Antivirus struct {
+	signatures []string
+}
+
+// EICAR is the standard antivirus test signature; included by default.
+const EICAR = `X5O!P%@AP[4\PZX54(P^)7CC)7}$EICAR-STANDARD-ANTIVIRUS-TEST-FILE!$H+H*`
+
+// NewAntivirus returns a scanner matching the given signatures plus EICAR.
+func NewAntivirus(signatures ...string) *Antivirus {
+	return &Antivirus{signatures: append([]string{EICAR}, signatures...)}
+}
+
+// Name implements Filter.
+func (a *Antivirus) Name() string { return "antivirus" }
+
+// Check implements Filter: Drop if any signature occurs in the body.
+func (a *Antivirus) Check(msg *mail.Message) Result {
+	for _, sig := range a.signatures {
+		if strings.Contains(msg.Body, sig) {
+			return Result{Drop, "virus signature " + truncate(sig, 24)}
+		}
+	}
+	return Result{Verdict: Pass}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+// ReverseDNS drops messages whose client IP has no PTR record. Hosts on
+// residential/botnet address space typically have none (or a generic
+// one), making this a cheap but effective pre-filter — it dropped 3.5M
+// messages in the study.
+type ReverseDNS struct {
+	resolver dnssim.Resolver
+}
+
+// NewReverseDNS returns the reverse-DNS filter.
+func NewReverseDNS(r dnssim.Resolver) *ReverseDNS {
+	return &ReverseDNS{resolver: r}
+}
+
+// Name implements Filter.
+func (f *ReverseDNS) Name() string { return "reverse-dns" }
+
+// Check implements Filter.
+func (f *ReverseDNS) Check(msg *mail.Message) Result {
+	if msg.ClientIP == "" {
+		return Result{Drop, "no client IP"}
+	}
+	if _, err := f.resolver.LookupPTR(msg.ClientIP); err != nil {
+		return Result{Drop, "no PTR for " + msg.ClientIP}
+	}
+	return Result{Verdict: Pass}
+}
+
+// RBL drops messages whose client IP is listed on the configured
+// blocklist (SpamHaus in the product under study).
+type RBL struct {
+	provider *rbl.Provider
+}
+
+// NewRBL returns the IP-blacklist filter backed by provider.
+func NewRBL(provider *rbl.Provider) *RBL {
+	return &RBL{provider: provider}
+}
+
+// Name implements Filter.
+func (f *RBL) Name() string { return "rbl" }
+
+// Check implements Filter.
+func (f *RBL) Check(msg *mail.Message) Result {
+	if msg.ClientIP != "" && f.provider.IsListed(msg.ClientIP) {
+		return Result{Drop, "listed on " + f.provider.Name()}
+	}
+	return Result{Verdict: Pass}
+}
+
+// SPF drops messages whose envelope sender domain publishes an SPF policy
+// that the client IP fails. This is the §5.2 extension: not part of the
+// product's default chain, evaluated offline in the paper (Figure 12).
+// Only a hard Fail drops; SoftFail/Neutral/None/errors pass, matching the
+// conservative deployment the paper reasons about.
+type SPF struct {
+	checker *spf.Checker
+}
+
+// NewSPF returns the SPF filter using checker.
+func NewSPF(checker *spf.Checker) *SPF {
+	return &SPF{checker: checker}
+}
+
+// Name implements Filter.
+func (f *SPF) Name() string { return "spf" }
+
+// Check implements Filter.
+func (f *SPF) Check(msg *mail.Message) Result {
+	if msg.EnvelopeFrom.IsNull() {
+		return Result{Verdict: Pass} // bounces have no sender domain to check
+	}
+	if f.checker.Check(msg.ClientIP, msg.EnvelopeFrom.Domain) == spf.Fail {
+		return Result{Drop, "SPF fail for " + msg.EnvelopeFrom.Domain}
+	}
+	return Result{Verdict: Pass}
+}
+
+// Chain runs filters in order, stopping at the first Drop, and keeps
+// per-filter pass/drop counters. It is safe for concurrent use.
+type Chain struct {
+	filters []Filter
+
+	mu     sync.Mutex
+	passed int64
+	drops  map[string]int64
+}
+
+// NewChain builds a chain over the given filters, evaluated in order.
+func NewChain(fs ...Filter) *Chain {
+	return &Chain{filters: fs, drops: make(map[string]int64)}
+}
+
+// Names returns the filter names in evaluation order.
+func (c *Chain) Names() []string {
+	out := make([]string, len(c.filters))
+	for i, f := range c.filters {
+		out[i] = f.Name()
+	}
+	return out
+}
+
+// Check runs msg through the chain. The returned name is the filter that
+// dropped it ("" when the message passed every filter).
+func (c *Chain) Check(msg *mail.Message) (Result, string) {
+	for _, f := range c.filters {
+		if r := f.Check(msg); r.Verdict == Drop {
+			c.mu.Lock()
+			c.drops[f.Name()]++
+			c.mu.Unlock()
+			return r, f.Name()
+		}
+	}
+	c.mu.Lock()
+	c.passed++
+	c.mu.Unlock()
+	return Result{Verdict: Pass}, ""
+}
+
+// Stats returns (messages passed, drops per filter name).
+func (c *Chain) Stats() (passed int64, drops map[string]int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.drops))
+	for k, v := range c.drops {
+		out[k] = v
+	}
+	return c.passed, out
+}
+
+// TotalDropped returns the total number of messages dropped by any filter.
+func (c *Chain) TotalDropped() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n int64
+	for _, v := range c.drops {
+		n += v
+	}
+	return n
+}

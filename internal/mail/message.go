@@ -1,0 +1,141 @@
+package mail
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Message is one email as seen by the CR system. A Message carries both the
+// SMTP envelope (EnvelopeFrom / Rcpt, which drive routing decisions) and
+// the header fields the measurement pipeline extracts (Subject, sizes,
+// timestamps). The study only ever had access to headers, never bodies; we
+// carry Body for the antivirus scanner but no component outside
+// internal/filters reads it.
+type Message struct {
+	// ID is a unique message identifier assigned at generation or on
+	// receipt (see NewID).
+	ID string
+
+	// EnvelopeFrom is the SMTP MAIL FROM reverse-path. Spam very often
+	// spoofs it; it is the address challenges are sent to, which is the
+	// root cause of the backscatter phenomenon the paper measures.
+	EnvelopeFrom Address
+
+	// Rcpt is the SMTP RCPT TO forward-path: the local user the message is
+	// addressed to. The dispatcher makes a decision per (message, rcpt).
+	Rcpt Address
+
+	// HeaderFrom is the RFC 5322 From: header, which may differ from the
+	// envelope. SPF validates the envelope; users see the header.
+	HeaderFrom Address
+
+	// Subject is the Subject: header, used by the §4.1 campaign clustering.
+	Subject string
+
+	// Size is the full size of the message in bytes (headers + body), used
+	// for the reflected-traffic ratio RT of §3.3.
+	Size int
+
+	// Body is the message body. Only the antivirus filter inspects it.
+	Body string
+
+	// ClientIP is the IP address of the SMTP client that delivered the
+	// message, as dotted quad. The reverse-DNS and RBL filters key on it.
+	ClientIP string
+
+	// HeloDomain is the domain announced in HELO/EHLO, used by SPF.
+	HeloDomain string
+
+	// Received is when the MTA-IN accepted the message.
+	Received time.Time
+}
+
+// Clone returns a copy of m with the given recipient, used when one SMTP
+// transaction carries multiple RCPT TO addresses: the dispatcher treats
+// each recipient as an independent delivery decision.
+func (m *Message) Clone(rcpt Address) *Message {
+	c := *m
+	c.Rcpt = rcpt
+	return &c
+}
+
+var idCounter atomic.Uint64
+
+// NewID returns a process-unique message ID with the given prefix. IDs are
+// sequential rather than random so simulation runs are reproducible.
+func NewID(prefix string) string {
+	return fmt.Sprintf("%s-%06d", prefix, idCounter.Add(1))
+}
+
+// ResetIDCounter resets the global ID sequence. Tests and experiment
+// drivers call it so message IDs are stable across runs.
+func ResetIDCounter() { idCounter.Store(0) }
+
+// SubjectWords returns the number of whitespace-separated words in the
+// subject. The §4.1 clustering only considers subjects of at least 10
+// words to keep the false-merge probability negligible.
+func (m *Message) SubjectWords() int {
+	return len(strings.Fields(m.Subject))
+}
+
+// Headers is a minimal ordered header collection for rendered messages
+// (challenges, digests, DSNs). Field names are matched case-insensitively
+// as RFC 5322 requires, but the stored capitalisation is preserved.
+type Headers struct {
+	keys []string
+	vals map[string]string
+}
+
+// NewHeaders returns an empty header set.
+func NewHeaders() *Headers {
+	return &Headers{vals: make(map[string]string)}
+}
+
+// Set adds or replaces a header field.
+func (h *Headers) Set(key, value string) {
+	ck := strings.ToLower(key)
+	if _, ok := h.vals[ck]; !ok {
+		h.keys = append(h.keys, key)
+	}
+	h.vals[ck] = value
+}
+
+// Get returns the value of the named field, or "" if absent.
+func (h *Headers) Get(key string) string {
+	return h.vals[strings.ToLower(key)]
+}
+
+// Has reports whether the named field is present.
+func (h *Headers) Has(key string) bool {
+	_, ok := h.vals[strings.ToLower(key)]
+	return ok
+}
+
+// Len returns the number of fields.
+func (h *Headers) Len() int { return len(h.keys) }
+
+// Render serialises the headers in insertion order, CRLF-terminated,
+// followed by the blank separator line.
+func (h *Headers) Render() string {
+	var b strings.Builder
+	for _, k := range h.keys {
+		b.WriteString(k)
+		b.WriteString(": ")
+		b.WriteString(h.vals[strings.ToLower(k)])
+		b.WriteString("\r\n")
+	}
+	b.WriteString("\r\n")
+	return b.String()
+}
+
+// SortedKeys returns the field names sorted alphabetically (for
+// deterministic test assertions).
+func (h *Headers) SortedKeys() []string {
+	out := make([]string, len(h.keys))
+	copy(out, h.keys)
+	sort.Strings(out)
+	return out
+}

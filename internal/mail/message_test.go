@@ -1,0 +1,128 @@
+package mail
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewIDUniqueSequential(t *testing.T) {
+	ResetIDCounter()
+	a, b := NewID("msg"), NewID("msg")
+	if a == b {
+		t.Fatalf("NewID returned duplicate %q", a)
+	}
+	if a != "msg-000001" || b != "msg-000002" {
+		t.Fatalf("IDs = %q, %q; want msg-000001, msg-000002", a, b)
+	}
+}
+
+func TestNewIDConcurrent(t *testing.T) {
+	ResetIDCounter()
+	const n = 200
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids[i] = NewID("c")
+		}(i)
+	}
+	wg.Wait()
+	seen := make(map[string]bool, n)
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate concurrent ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestMessageClone(t *testing.T) {
+	m := &Message{
+		ID:           "m-1",
+		EnvelopeFrom: MustParseAddress("a@b.com"),
+		Rcpt:         MustParseAddress("u1@corp.com"),
+		Subject:      "hello",
+		Size:         1234,
+		Received:     time.Date(2010, 7, 1, 0, 0, 0, 0, time.UTC),
+	}
+	r2 := MustParseAddress("u2@corp.com")
+	c := m.Clone(r2)
+	if c.Rcpt != r2 {
+		t.Fatalf("Clone rcpt = %v, want %v", c.Rcpt, r2)
+	}
+	if c.ID != m.ID || c.Subject != m.Subject || c.Size != m.Size {
+		t.Fatal("Clone did not copy fields")
+	}
+	c.Subject = "changed"
+	if m.Subject != "hello" {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+func TestSubjectWords(t *testing.T) {
+	cases := []struct {
+		subj string
+		n    int
+	}{
+		{"", 0},
+		{"one", 1},
+		{"  spaced   out   words  ", 3},
+		{"Buy cheap meds online now best price guaranteed today only friend", 11},
+	}
+	for _, c := range cases {
+		m := &Message{Subject: c.subj}
+		if got := m.SubjectWords(); got != c.n {
+			t.Errorf("SubjectWords(%q) = %d, want %d", c.subj, got, c.n)
+		}
+	}
+}
+
+func TestHeadersSetGetCaseInsensitive(t *testing.T) {
+	h := NewHeaders()
+	h.Set("Subject", "challenge")
+	h.Set("X-CR-Token", "tok123")
+	if h.Get("subject") != "challenge" {
+		t.Fatalf("Get(subject) = %q", h.Get("subject"))
+	}
+	if !h.Has("x-cr-token") {
+		t.Fatal("Has(x-cr-token) = false")
+	}
+	h.Set("SUBJECT", "replaced")
+	if h.Get("Subject") != "replaced" {
+		t.Fatalf("replace failed: %q", h.Get("Subject"))
+	}
+	if h.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (replace must not duplicate)", h.Len())
+	}
+}
+
+func TestHeadersRenderOrder(t *testing.T) {
+	h := NewHeaders()
+	h.Set("From", "cr@corp.com")
+	h.Set("To", "alice@example.com")
+	h.Set("Subject", "please confirm")
+	out := h.Render()
+	iFrom := strings.Index(out, "From:")
+	iTo := strings.Index(out, "To:")
+	iSub := strings.Index(out, "Subject:")
+	if !(iFrom < iTo && iTo < iSub) {
+		t.Fatalf("render order wrong:\n%s", out)
+	}
+	if !strings.HasSuffix(out, "\r\n\r\n") {
+		t.Fatalf("render must end with blank line, got %q", out[len(out)-8:])
+	}
+}
+
+func TestHeadersSortedKeys(t *testing.T) {
+	h := NewHeaders()
+	h.Set("Zeta", "1")
+	h.Set("Alpha", "2")
+	keys := h.SortedKeys()
+	if len(keys) != 2 || keys[0] != "Alpha" || keys[1] != "Zeta" {
+		t.Fatalf("SortedKeys = %v", keys)
+	}
+}

@@ -1,0 +1,168 @@
+package mailbox
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/dnssim"
+	"repro/internal/filters"
+	"repro/internal/mail"
+	"repro/internal/whitelist"
+)
+
+var (
+	t0  = time.Date(2010, 7, 1, 12, 0, 0, 0, time.UTC)
+	bob = mail.MustParseAddress("bob@corp.example")
+)
+
+func stored(from, subject, body string, via core.DeliveryVia) Stored {
+	return Stored{
+		Msg: &mail.Message{
+			ID:           mail.NewID("mb"),
+			EnvelopeFrom: mail.MustParseAddress(from),
+			Rcpt:         bob,
+			Subject:      subject,
+			Body:         body,
+		},
+		Via:       via,
+		Delivered: t0,
+	}
+}
+
+func TestSinkFilesDeliveries(t *testing.T) {
+	s := NewStore()
+	sink := s.Sink()
+	d := core.Delivery{User: bob, DeliveredAt: t0, Via: core.ViaWhitelist}
+	m := &mail.Message{ID: "m-1", EnvelopeFrom: mail.MustParseAddress("a@x.example"), Rcpt: bob, Subject: "hi"}
+	sink(d, m)
+	if s.Len(bob) != 1 || s.Total() != 1 {
+		t.Fatalf("len=%d total=%d", s.Len(bob), s.Total())
+	}
+	in := s.Inbox(bob)
+	if in[0].Msg.ID != "m-1" || in[0].Via != core.ViaWhitelist {
+		t.Fatalf("inbox = %+v", in)
+	}
+	if got := s.Users(); len(got) != 1 || got[0] != bob.Key() {
+		t.Fatalf("Users = %v", got)
+	}
+}
+
+func TestInboxIsolatedPerUser(t *testing.T) {
+	s := NewStore()
+	carol := mail.MustParseAddress("carol@corp.example")
+	s.Sink()(core.Delivery{User: bob, DeliveredAt: t0}, &mail.Message{ID: "m-1", Rcpt: bob})
+	if s.Len(carol) != 0 {
+		t.Fatal("delivery leaked across users")
+	}
+}
+
+func TestWriteMboxFormat(t *testing.T) {
+	s := NewStore()
+	sink := s.Sink()
+	st := stored("alice@example.com", "lunch plans", "Hi Bob,\r\nLunch at noon?\r\n", core.ViaChallenge)
+	sink(core.Delivery{User: bob, DeliveredAt: t0, Via: core.ViaChallenge}, st.Msg)
+
+	var sb strings.Builder
+	if err := s.WriteMbox(&sb, bob); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"From alice@example.com ",
+		"Subject: lunch plans",
+		"X-CR-Delivered-Via: challenge",
+		"Message-ID: <",
+		"Lunch at noon?",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("mbox missing %q:\n%s", want, out)
+		}
+	}
+	if n, err := ParseMboxCount(strings.NewReader(out)); err != nil || n != 1 {
+		t.Fatalf("ParseMboxCount = %d, %v", n, err)
+	}
+}
+
+func TestMboxrdQuoting(t *testing.T) {
+	s := NewStore()
+	body := "From the desk of Bob\n>From quoted already\nnormal line"
+	st := stored("a@x.example", "quoting", body, core.ViaWhitelist)
+	s.Sink()(core.Delivery{User: bob, DeliveredAt: t0}, st.Msg)
+
+	var sb strings.Builder
+	if err := s.WriteMbox(&sb, bob); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "\n>From the desk of Bob\n") {
+		t.Fatalf("body From-line not quoted:\n%s", out)
+	}
+	if !strings.Contains(out, "\n>>From quoted already\n") {
+		t.Fatalf("nested quoting wrong:\n%s", out)
+	}
+	// The quoted lines must not count as separators.
+	if n, _ := ParseMboxCount(strings.NewReader(out)); n != 1 {
+		t.Fatalf("quoted lines counted as separators: %d", n)
+	}
+}
+
+func TestNullSenderBecomesMailerDaemon(t *testing.T) {
+	s := NewStore()
+	m := &mail.Message{ID: "m-dsn", EnvelopeFrom: mail.Null, Rcpt: bob, Subject: "bounce"}
+	s.Sink()(core.Delivery{User: bob, DeliveredAt: t0}, m)
+	var sb strings.Builder
+	if err := s.WriteMbox(&sb, bob); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "From MAILER-DAEMON ") {
+		t.Fatalf("DSN separator wrong:\n%s", sb.String())
+	}
+}
+
+// TestEngineIntegration wires the store to a live engine: delivered mail
+// (instant and challenge-solved) lands in the mailbox.
+func TestEngineIntegration(t *testing.T) {
+	clk := clock.NewSim(t0)
+	dns := dnssim.NewServer()
+	dns.RegisterMailDomain("example.com", "192.0.2.10")
+	eng := core.New(core.Config{
+		Name:             "mb",
+		Domains:          []string{"corp.example"},
+		ChallengeFrom:    mail.MustParseAddress("challenge@corp.example"),
+		ChallengeBaseURL: "http://cr.corp.example",
+	}, clk, dns, filters.NewChain(), whitelist.NewStore(clk), func(core.OutboundChallenge) {})
+	eng.AddUser(bob)
+	store := NewStore()
+	eng.SetInboxSink(store.Sink())
+
+	alice := mail.MustParseAddress("alice@example.com")
+	eng.AddManualWhitelist(bob, alice)
+	eng.Receive(&mail.Message{
+		ID: "m-white", EnvelopeFrom: alice, Rcpt: bob,
+		Subject: "instant", Body: "hello", Size: 100, Received: clk.Now(),
+	})
+	eng.Receive(&mail.Message{
+		ID: "m-gray", EnvelopeFrom: mail.MustParseAddress("stranger@example.com"), Rcpt: bob,
+		Subject: "challenged", Body: "hi", Size: 100, Received: clk.Now(),
+	})
+	if store.Len(bob) != 1 {
+		t.Fatalf("inbox before solve = %d, want 1", store.Len(bob))
+	}
+	// Solve the challenge: the gray message arrives too.
+	svc := eng.Captcha()
+	ch := svc.ByMessage("m-gray")
+	ans, _ := svc.Answer(ch.Token)
+	if err := svc.Solve(ch.Token, ans); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len(bob) != 2 {
+		t.Fatalf("inbox after solve = %d, want 2", store.Len(bob))
+	}
+	in := store.Inbox(bob)
+	if in[0].Via != core.ViaWhitelist || in[1].Via != core.ViaChallenge {
+		t.Fatalf("delivery paths = %v, %v", in[0].Via, in[1].Via)
+	}
+}

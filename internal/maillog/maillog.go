@@ -1,0 +1,298 @@
+// Package maillog implements the measurement methodology of the paper's
+// §2: the authors never had live access to the CR engines — they parsed
+// the MTAs' and challenge engines' daily logs plus the web server's
+// access logs, loaded the extracted events into Postgres and aggregated
+// from there.
+//
+// This package provides the same two halves: an Emitter that renders the
+// engine's decision points as structured log lines (one event per line,
+// syslog-flavoured key=value), and a Parser/Aggregator that reconstruct
+// the paper's statistics *from the text logs alone*. The experiments
+// package cross-validates the log-derived aggregates against the
+// in-process counters, which is exactly the consistency check the
+// original methodology depends on.
+package maillog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the event types the log carries.
+type Kind string
+
+// Event kinds, mirroring the log sources of §2: MTA-IN decisions,
+// dispatcher decisions, challenge engine actions, and the challenge web
+// server's access log.
+const (
+	// KindMTAAccept: the MTA-IN accepted a message.
+	KindMTAAccept Kind = "mta-accept"
+	// KindMTADrop: the MTA-IN dropped a message (reason attached).
+	KindMTADrop Kind = "mta-drop"
+	// KindDispatch: the dispatcher routed a message (spool attached).
+	KindDispatch Kind = "dispatch"
+	// KindFilterDrop: an auxiliary filter dropped a gray message.
+	KindFilterDrop Kind = "filter-drop"
+	// KindChallenge: a challenge email was sent.
+	KindChallenge Kind = "challenge"
+	// KindDeliver: a message reached a user's inbox (via attached).
+	KindDeliver Kind = "deliver"
+	// KindWebVisit: the challenge URL was opened (web access log).
+	KindWebVisit Kind = "web-visit"
+	// KindWebSolve: the CAPTCHA was solved (web access log).
+	KindWebSolve Kind = "web-solve"
+)
+
+// Event is one structured log record.
+type Event struct {
+	Time    time.Time
+	Company string
+	Kind    Kind
+	MsgID   string
+	// Fields carries kind-specific attributes (reason, spool, via,
+	// filter, from, size...). Values must not contain spaces or '='.
+	Fields map[string]string
+}
+
+// timeLayout is RFC3339 without a zone (logs are UTC by convention).
+const timeLayout = "2006-01-02T15:04:05Z"
+
+// Format renders the event as a single log line:
+//
+//	2010-07-01T10:00:00Z company-03 mta-drop msg=abc reason=unknown-recipient
+func (e Event) Format() string {
+	var b strings.Builder
+	b.WriteString(e.Time.UTC().Format(timeLayout))
+	b.WriteByte(' ')
+	b.WriteString(e.Company)
+	b.WriteByte(' ')
+	b.WriteString(string(e.Kind))
+	if e.MsgID != "" {
+		b.WriteString(" msg=")
+		b.WriteString(e.MsgID)
+	}
+	keys := make([]string, 0, len(e.Fields))
+	for k := range e.Fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.WriteByte(' ')
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(e.Fields[k])
+	}
+	return b.String()
+}
+
+// ParseLine parses one log line back into an Event.
+func ParseLine(line string) (Event, error) {
+	parts := strings.Fields(line)
+	if len(parts) < 3 {
+		return Event{}, fmt.Errorf("maillog: short line %q", line)
+	}
+	t, err := time.Parse(timeLayout, parts[0])
+	if err != nil {
+		return Event{}, fmt.Errorf("maillog: bad timestamp in %q: %v", line, err)
+	}
+	e := Event{
+		Time:    t,
+		Company: parts[1],
+		Kind:    Kind(parts[2]),
+		Fields:  make(map[string]string),
+	}
+	for _, kv := range parts[3:] {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Event{}, fmt.Errorf("maillog: bad field %q in %q", kv, line)
+		}
+		if k == "msg" {
+			e.MsgID = v
+			continue
+		}
+		e.Fields[k] = v
+	}
+	return e, nil
+}
+
+// Writer serialises events to an io.Writer, one line each. It is not
+// safe for concurrent use; wrap with a mutex or use one per goroutine.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+	n   int64
+}
+
+// NewWriter returns a log writer over w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Write appends one event. Errors are sticky and reported by Flush.
+func (lw *Writer) Write(e Event) {
+	if lw.err != nil {
+		return
+	}
+	if _, err := lw.w.WriteString(e.Format()); err != nil {
+		lw.err = err
+		return
+	}
+	if err := lw.w.WriteByte('\n'); err != nil {
+		lw.err = err
+		return
+	}
+	lw.n++
+}
+
+// Count returns the number of events written.
+func (lw *Writer) Count() int64 { return lw.n }
+
+// Flush drains the buffer and returns the first error encountered.
+func (lw *Writer) Flush() error {
+	if lw.err != nil {
+		return lw.err
+	}
+	return lw.w.Flush()
+}
+
+// Aggregate is the statistic set the paper's Python scripts computed
+// from the parsed logs, sufficient to derive Figure 1/2/3, the
+// reflection ratio and the solve rates.
+type Aggregate struct {
+	// Per company; "" keys the fleet-wide total.
+	ByCompany map[string]*CompanyAggregate
+	// Lines and parse failures, for data-quality reporting.
+	Lines    int64
+	BadLines int64
+}
+
+// CompanyAggregate accumulates one installation's counters.
+type CompanyAggregate struct {
+	Incoming    int64
+	MTADrops    map[string]int64 // by reason
+	Spools      map[string]int64 // white / black / gray
+	FilterDrops map[string]int64 // by filter name
+	Challenges  int64
+	Deliveries  map[string]int64 // by via
+	WebVisits   int64
+	WebSolves   int64
+	InBytes     int64
+}
+
+func newCompanyAggregate() *CompanyAggregate {
+	return &CompanyAggregate{
+		MTADrops:    make(map[string]int64),
+		Spools:      make(map[string]int64),
+		FilterDrops: make(map[string]int64),
+		Deliveries:  make(map[string]int64),
+	}
+}
+
+// ReflectionRatio returns challenges / messages reaching the dispatcher.
+func (c *CompanyAggregate) ReflectionRatio() float64 {
+	var reaching int64
+	for _, v := range c.Spools {
+		reaching += v
+	}
+	if reaching == 0 {
+		return 0
+	}
+	return float64(c.Challenges) / float64(reaching)
+}
+
+// SolveRate returns web solves / challenges.
+func (c *CompanyAggregate) SolveRate() float64 {
+	if c.Challenges == 0 {
+		return 0
+	}
+	return float64(c.WebSolves) / float64(c.Challenges)
+}
+
+// NewAggregate returns an empty aggregate.
+func NewAggregate() *Aggregate {
+	return &Aggregate{ByCompany: make(map[string]*CompanyAggregate)}
+}
+
+// Add incorporates one event.
+func (a *Aggregate) Add(e Event) {
+	for _, key := range []string{e.Company, ""} {
+		c := a.ByCompany[key]
+		if c == nil {
+			c = newCompanyAggregate()
+			a.ByCompany[key] = c
+		}
+		switch e.Kind {
+		case KindMTAAccept:
+			c.Incoming++
+			if s, err := strconv.ParseInt(e.Fields["size"], 10, 64); err == nil {
+				c.InBytes += s
+			}
+		case KindMTADrop:
+			c.Incoming++
+			c.MTADrops[e.Fields["reason"]]++
+			if s, err := strconv.ParseInt(e.Fields["size"], 10, 64); err == nil {
+				c.InBytes += s
+			}
+		case KindDispatch:
+			c.Spools[e.Fields["spool"]]++
+		case KindFilterDrop:
+			c.FilterDrops[e.Fields["filter"]]++
+		case KindChallenge:
+			c.Challenges++
+		case KindDeliver:
+			c.Deliveries[e.Fields["via"]]++
+		case KindWebVisit:
+			c.WebVisits++
+		case KindWebSolve:
+			c.WebSolves++
+		}
+	}
+}
+
+// Total returns the fleet-wide aggregate.
+func (a *Aggregate) Total() *CompanyAggregate {
+	if c := a.ByCompany[""]; c != nil {
+		return c
+	}
+	return newCompanyAggregate()
+}
+
+// Companies returns the company names present, sorted.
+func (a *Aggregate) Companies() []string {
+	out := make([]string, 0, len(a.ByCompany))
+	for k := range a.ByCompany {
+		if k != "" {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseAll consumes a log stream, aggregating every parsable line. Bad
+// lines are counted, not fatal — exactly how a daily log crawler must
+// behave.
+func ParseAll(r io.Reader) (*Aggregate, error) {
+	agg := NewAggregate()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		agg.Lines++
+		e, err := ParseLine(line)
+		if err != nil {
+			agg.BadLines++
+			continue
+		}
+		agg.Add(e)
+	}
+	return agg, sc.Err()
+}

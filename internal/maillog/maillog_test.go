@@ -1,0 +1,210 @@
+package maillog_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/dnssim"
+	"repro/internal/filters"
+	"repro/internal/mail"
+	"repro/internal/maillog"
+	"repro/internal/whitelist"
+)
+
+var t0 = time.Date(2010, 7, 1, 10, 0, 0, 0, time.UTC)
+
+func TestEventFormatParseRoundTrip(t *testing.T) {
+	e := maillog.Event{
+		Time:    t0,
+		Company: "company-03",
+		Kind:    maillog.KindMTADrop,
+		MsgID:   "m-123",
+		Fields:  map[string]string{"reason": "unknown-recipient", "size": "4096"},
+	}
+	line := e.Format()
+	if line != "2010-07-01T10:00:00Z company-03 mta-drop msg=m-123 reason=unknown-recipient size=4096" {
+		t.Fatalf("Format = %q", line)
+	}
+	got, err := maillog.ParseLine(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Time.Equal(e.Time) || got.Company != e.Company || got.Kind != e.Kind || got.MsgID != e.MsgID {
+		t.Fatalf("round trip lost header: %+v", got)
+	}
+	if got.Fields["reason"] != "unknown-recipient" || got.Fields["size"] != "4096" {
+		t.Fatalf("round trip lost fields: %+v", got.Fields)
+	}
+}
+
+func TestEventFormatDeterministicFieldOrder(t *testing.T) {
+	e := maillog.Event{
+		Time: t0, Company: "c", Kind: maillog.KindDeliver,
+		Fields: map[string]string{"zeta": "1", "alpha": "2", "mid": "3"},
+	}
+	l1, l2 := e.Format(), e.Format()
+	if l1 != l2 {
+		t.Fatal("Format not deterministic")
+	}
+	if !strings.Contains(l1, "alpha=2 mid=3 zeta=1") {
+		t.Fatalf("fields not sorted: %q", l1)
+	}
+}
+
+func TestParseLineErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"too short",
+		"not-a-time company kind",
+		"2010-07-01T10:00:00Z c deliver brokenfield",
+	} {
+		if _, err := maillog.ParseLine(bad); err == nil {
+			t.Errorf("ParseLine(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestWriterAndParseAll(t *testing.T) {
+	var sb strings.Builder
+	w := maillog.NewWriter(&sb)
+	for i, kind := range []maillog.Kind{maillog.KindMTAAccept, maillog.KindDispatch, maillog.KindChallenge} {
+		w.Write(maillog.Event{
+			Time: t0.Add(time.Duration(i) * time.Second), Company: "corp",
+			Kind: kind, MsgID: "m-1",
+			Fields: map[string]string{"spool": "gray"},
+		})
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 3 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+
+	input := sb.String() + "garbage line here that fails parsing but has words\n\n"
+	agg, err := maillog.ParseAll(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Lines != 4 || agg.BadLines != 1 {
+		t.Fatalf("lines=%d bad=%d", agg.Lines, agg.BadLines)
+	}
+	tot := agg.Total()
+	if tot.Incoming != 1 || tot.Spools["gray"] != 1 || tot.Challenges != 1 {
+		t.Fatalf("aggregate = %+v", tot)
+	}
+	if got := agg.Companies(); len(got) != 1 || got[0] != "corp" {
+		t.Fatalf("Companies = %v", got)
+	}
+}
+
+// TestLogDerivedStatsMatchEngineCounters is the methodology check: the
+// statistics reconstructed from the text log must equal the engine's own
+// counters — exactly the equivalence the paper's log-based measurement
+// relies on.
+func TestLogDerivedStatsMatchEngineCounters(t *testing.T) {
+	clk := clock.NewSim(t0)
+	dns := dnssim.NewServer()
+	dns.RegisterMailDomain("example.com", "192.0.2.10")
+	dns.AddPTR("192.0.2.10", "mail.example.com")
+
+	var sb strings.Builder
+	w := maillog.NewWriter(&sb)
+
+	eng := core.New(core.Config{
+		Name:             "corp",
+		Domains:          []string{"corp.example"},
+		ChallengeFrom:    mail.MustParseAddress("challenge@corp.example"),
+		ChallengeBaseURL: "http://cr.corp.example",
+	}, clk, dns, filters.NewChain(filters.NewAntivirus(), filters.NewReverseDNS(dns)),
+		whitelist.NewStore(clk), func(core.OutboundChallenge) {})
+	eng.SetEventSink(w.Write)
+	bob := mail.MustParseAddress("bob@corp.example")
+	eng.AddUser(bob)
+	eng.AddManualWhitelist(bob, mail.MustParseAddress("friend@example.com"))
+
+	send := func(from, to string, ip string) {
+		m := &mail.Message{
+			ID:           mail.NewID("lg"),
+			EnvelopeFrom: mail.MustParseAddress(from),
+			Rcpt:         mail.MustParseAddress(to),
+			Subject:      "log pipeline test message subject words",
+			Size:         3000,
+			ClientIP:     ip,
+			Received:     clk.Now(),
+		}
+		eng.Receive(m)
+		clk.Advance(time.Minute)
+	}
+
+	send("friend@example.com", "bob@corp.example", "192.0.2.10")   // white
+	send("stranger@example.com", "bob@corp.example", "192.0.2.10") // gray -> challenge
+	send("another@example.com", "bob@corp.example", "203.0.113.9") // gray -> rDNS drop
+	send("x@example.com", "ghost@corp.example", "192.0.2.10")      // unknown rcpt
+
+	// Visit + solve the outstanding challenge through the service so the
+	// web events flow into the log.
+	pending := eng.PendingForUser(bob)
+	if len(pending) != 1 {
+		t.Fatalf("pending = %d", len(pending))
+	}
+	ch := eng.Captcha().ByMessage(pending[0].MsgID)
+	if ch == nil {
+		t.Fatal("challenge missing")
+	}
+	if _, err := eng.Captcha().Visit(ch.Token); err != nil {
+		t.Fatal(err)
+	}
+	ans, _ := eng.Captcha().Answer(ch.Token)
+	if err := eng.Captcha().Solve(ch.Token, ans); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	agg, err := maillog.ParseAll(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	logStats := agg.Total()
+	m := eng.Metrics()
+
+	if logStats.Incoming != m.MTAIncoming {
+		t.Errorf("incoming: log %d vs engine %d", logStats.Incoming, m.MTAIncoming)
+	}
+	if logStats.MTADrops["unknown-recipient"] != m.MTADropped[core.UnknownRecipient] {
+		t.Errorf("unknown-rcpt drops: log %d vs engine %d",
+			logStats.MTADrops["unknown-recipient"], m.MTADropped[core.UnknownRecipient])
+	}
+	if logStats.Spools["white"] != m.SpoolWhite || logStats.Spools["gray"] != m.SpoolGray {
+		t.Errorf("spools: log %+v vs engine white=%d gray=%d", logStats.Spools, m.SpoolWhite, m.SpoolGray)
+	}
+	if logStats.FilterDrops["reverse-dns"] != m.FilterDropped["reverse-dns"] {
+		t.Errorf("filter drops: log %+v vs engine %+v", logStats.FilterDrops, m.FilterDropped)
+	}
+	if logStats.Challenges != m.ChallengesSent {
+		t.Errorf("challenges: log %d vs engine %d", logStats.Challenges, m.ChallengesSent)
+	}
+	if logStats.Deliveries["whitelist"] != m.Delivered[core.ViaWhitelist] ||
+		logStats.Deliveries["challenge"] != m.Delivered[core.ViaChallenge] {
+		t.Errorf("deliveries: log %+v vs engine %+v", logStats.Deliveries, m.Delivered)
+	}
+	if logStats.WebVisits != 1 || logStats.WebSolves != 1 {
+		t.Errorf("web events: visits=%d solves=%d", logStats.WebVisits, logStats.WebSolves)
+	}
+	if logStats.InBytes != m.MTAInBytes {
+		t.Errorf("bytes: log %d vs engine %d", logStats.InBytes, m.MTAInBytes)
+	}
+	// Derived ratio equality.
+	if got, want := logStats.ReflectionRatio(), m.ReflectionRatio(); got != want {
+		t.Errorf("reflection ratio: log %v vs engine %v", got, want)
+	}
+	if logStats.SolveRate() != 1 {
+		t.Errorf("solve rate = %v, want 1", logStats.SolveRate())
+	}
+}

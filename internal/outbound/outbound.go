@@ -1,0 +1,239 @@
+// Package outbound implements the MTA-OUT side of a live CR deployment:
+// a delivery queue that renders challenge emails and pushes them to a
+// next-hop SMTP server (smarthost), with the retry/expiry schedule of a
+// conventional mail queue.
+//
+// In the paper's installations this is the component whose IP address
+// ends up on blocklists (§5.1) — it is the server that "sends the
+// challenges". cmd/crserver wires it to a real smarthost; the simulation
+// uses internal/simnet instead (same queue semantics, virtual time).
+package outbound
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mail"
+	"repro/internal/smtp"
+)
+
+// Status is the delivery state of a queued challenge.
+type Status int
+
+// Queue item states.
+const (
+	// StatusQueued: waiting for the next delivery attempt.
+	StatusQueued Status = iota
+	// StatusSent: accepted by the smarthost.
+	StatusSent
+	// StatusBounced: permanently rejected (5xx).
+	StatusBounced
+	// StatusExpired: retries exhausted.
+	StatusExpired
+)
+
+// String returns the state label.
+func (s Status) String() string {
+	switch s {
+	case StatusQueued:
+		return "queued"
+	case StatusSent:
+		return "sent"
+	case StatusBounced:
+		return "bounced"
+	case StatusExpired:
+		return "expired"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Item is one queued challenge with its delivery state.
+type Item struct {
+	Challenge core.OutboundChallenge
+	Status    Status
+	Attempts  int
+	LastError string
+	NextTry   time.Time
+}
+
+// Dialer opens an SMTP session to the smarthost. Tests substitute an
+// in-memory implementation.
+type Dialer func() (*smtp.Client, error)
+
+// Config parameterises a Queue.
+type Config struct {
+	// Dial opens the smarthost connection; required.
+	Dial Dialer
+	// HeloDomain is announced on each session.
+	HeloDomain string
+	// RetrySchedule are the waits between attempts; when exhausted the
+	// item expires. Defaults to a conventional backoff.
+	RetrySchedule []time.Duration
+	// Now supplies timestamps; nil = time.Now.
+	Now func() time.Time
+}
+
+// DefaultRetrySchedule is a conventional MTA backoff.
+var DefaultRetrySchedule = []time.Duration{
+	15 * time.Minute, time.Hour, 4 * time.Hour, 12 * time.Hour, 24 * time.Hour,
+}
+
+// Queue is the outbound challenge queue. Enqueue is cheap; Flush drives
+// delivery (call it from a ticker or after Enqueue for immediate mode).
+type Queue struct {
+	cfg Config
+
+	mu    sync.Mutex
+	items []*Item
+}
+
+// NewQueue returns an empty queue.
+func NewQueue(cfg Config) *Queue {
+	if cfg.Dial == nil {
+		panic("outbound: Config.Dial is required")
+	}
+	if cfg.HeloDomain == "" {
+		cfg.HeloDomain = "cr.invalid"
+	}
+	if len(cfg.RetrySchedule) == 0 {
+		cfg.RetrySchedule = DefaultRetrySchedule
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Queue{cfg: cfg}
+}
+
+// Enqueue adds a challenge for delivery on the next Flush.
+func (q *Queue) Enqueue(ch core.OutboundChallenge) {
+	q.mu.Lock()
+	q.items = append(q.items, &Item{Challenge: ch, NextTry: q.cfg.Now()})
+	q.mu.Unlock()
+}
+
+// Sender returns a core.ChallengeSender that enqueues.
+func (q *Queue) Sender() core.ChallengeSender {
+	return func(ch core.OutboundChallenge) { q.Enqueue(ch) }
+}
+
+// RenderChallenge builds the RFC 5322 body of a challenge email: the
+// text a real sender reads, with the CAPTCHA URL to open.
+func RenderChallenge(ch core.OutboundChallenge) string {
+	h := mail.NewHeaders()
+	h.Set("From", ch.From.String())
+	h.Set("To", ch.To.String())
+	h.Set("Subject", "Please confirm your message ("+ch.MsgID+")")
+	h.Set("Auto-Submitted", "auto-replied")
+	h.Set("X-CR-Token", ch.Token)
+	h.Set("MIME-Version", "1.0")
+	h.Set("Content-Type", "text/plain; charset=utf-8")
+	body := "Your message is being held by a challenge-response spam filter.\r\n" +
+		"To deliver it, please confirm you are human by visiting:\r\n\r\n    " +
+		ch.URL + "\r\n\r\n" +
+		"You only need to do this once; future messages will be delivered\r\n" +
+		"immediately. If you did not send a message, you can ignore this\r\n" +
+		"email.\r\n"
+	return h.Render() + body
+}
+
+// Flush attempts delivery of every due item over a single smarthost
+// session. It returns the number of items that reached a terminal state
+// (sent, bounced, expired). Transient errors reschedule per the retry
+// schedule; dial failures leave the queue untouched for the next Flush.
+func (q *Queue) Flush() (terminal int, err error) {
+	now := q.cfg.Now()
+	q.mu.Lock()
+	var due []*Item
+	for _, it := range q.items {
+		if it.Status == StatusQueued && !it.NextTry.After(now) {
+			due = append(due, it)
+		}
+	}
+	q.mu.Unlock()
+	if len(due) == 0 {
+		return 0, nil
+	}
+
+	client, err := q.cfg.Dial()
+	if err != nil {
+		return 0, fmt.Errorf("outbound: dial smarthost: %w", err)
+	}
+	defer client.Close()
+	if err := client.Hello(q.cfg.HeloDomain); err != nil {
+		return 0, fmt.Errorf("outbound: HELO: %w", err)
+	}
+
+	for _, it := range due {
+		sendErr := client.SendMail(it.Challenge.From, []mail.Address{it.Challenge.To}, RenderChallenge(it.Challenge))
+		q.mu.Lock()
+		it.Attempts++
+		switch e := sendErr.(type) {
+		case nil:
+			it.Status = StatusSent
+			terminal++
+		case *smtp.Reply:
+			it.LastError = e.Error()
+			if e.Temporary() {
+				q.rescheduleLocked(it, now)
+				if it.Status == StatusExpired {
+					terminal++
+				}
+			} else {
+				it.Status = StatusBounced
+				terminal++
+			}
+			// The session survives SMTP-level rejections; reset the
+			// transaction for the next item.
+			q.mu.Unlock()
+			_ = client.Reset()
+			q.mu.Lock()
+		default:
+			// Connection-level failure: stop the session, retry later.
+			it.LastError = sendErr.Error()
+			q.rescheduleLocked(it, now)
+			if it.Status == StatusExpired {
+				terminal++
+			}
+			q.mu.Unlock()
+			return terminal, fmt.Errorf("outbound: session lost: %w", sendErr)
+		}
+		q.mu.Unlock()
+	}
+	_ = client.Quit()
+	return terminal, nil
+}
+
+// rescheduleLocked applies the retry schedule. Caller holds q.mu.
+func (q *Queue) rescheduleLocked(it *Item, now time.Time) {
+	idx := it.Attempts - 1
+	if idx >= len(q.cfg.RetrySchedule) {
+		it.Status = StatusExpired
+		return
+	}
+	it.NextTry = now.Add(q.cfg.RetrySchedule[idx])
+}
+
+// Stats counts items per state.
+func (q *Queue) Stats() map[Status]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[Status]int)
+	for _, it := range q.items {
+		out[it.Status]++
+	}
+	return out
+}
+
+// Items returns a snapshot of the queue.
+func (q *Queue) Items() []Item {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Item, len(q.items))
+	for i, it := range q.items {
+		out[i] = *it
+	}
+	return out
+}

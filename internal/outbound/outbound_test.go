@@ -1,0 +1,235 @@
+package outbound
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mail"
+	"repro/internal/smtp"
+)
+
+// smarthost is a test SMTP server that can accept, 4xx or 5xx per
+// recipient address.
+type smarthost struct {
+	mu       sync.Mutex
+	accepted []*mail.Message
+	tempFail map[string]bool
+	permFail map[string]bool
+}
+
+func (s *smarthost) ValidateSender(mail.Address) *smtp.Reply { return nil }
+
+func (s *smarthost) ValidateRcpt(_, rcpt mail.Address) *smtp.Reply {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tempFail[rcpt.Key()] {
+		return &smtp.Reply{Code: 451, Text: "try later"}
+	}
+	if s.permFail[rcpt.Key()] {
+		return &smtp.Reply{Code: 550, Text: "no such user"}
+	}
+	return nil
+}
+
+func (s *smarthost) Deliver(m *mail.Message) *smtp.Reply {
+	s.mu.Lock()
+	s.accepted = append(s.accepted, m)
+	s.mu.Unlock()
+	return nil
+}
+
+func startSmarthost(t *testing.T) (*smarthost, string) {
+	t.Helper()
+	sh := &smarthost{tempFail: map[string]bool{}, permFail: map[string]bool{}}
+	srv := smtp.NewServer(smtp.Config{Hostname: "smarthost.example", ReadTimeout: 5 * time.Second}, sh)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l) //nolint:errcheck
+	t.Cleanup(srv.Close)
+	return sh, l.Addr().String()
+}
+
+func challengeTo(addr string) core.OutboundChallenge {
+	return core.OutboundChallenge{
+		MsgID:   mail.NewID("q"),
+		Token:   "tok-xyz",
+		From:    mail.MustParseAddress("challenge@corp.example"),
+		To:      mail.MustParseAddress(addr),
+		Subject: "original subject",
+		URL:     "http://cr.corp.example/challenge/tok-xyz",
+		Size:    1800,
+	}
+}
+
+func newQueue(addr string) *Queue {
+	return NewQueue(Config{
+		Dial:       func() (*smtp.Client, error) { return smtp.Dial(addr, 2*time.Second) },
+		HeloDomain: "cr.corp.example",
+	})
+}
+
+func TestFlushDelivers(t *testing.T) {
+	sh, addr := startSmarthost(t)
+	q := newQueue(addr)
+	q.Enqueue(challengeTo("alice@example.com"))
+	q.Enqueue(challengeTo("bob@example.org"))
+
+	n, err := q.Flush()
+	if err != nil || n != 2 {
+		t.Fatalf("Flush = %d, %v", n, err)
+	}
+	if got := q.Stats()[StatusSent]; got != 2 {
+		t.Fatalf("sent = %d", got)
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if len(sh.accepted) != 2 {
+		t.Fatalf("smarthost accepted %d", len(sh.accepted))
+	}
+	body := sh.accepted[0].Body
+	for _, want := range []string{"challenge-response spam filter", "http://cr.corp.example/challenge/tok-xyz"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("rendered challenge missing %q:\n%s", want, body)
+		}
+	}
+	if sh.accepted[0].Subject == "" || !strings.Contains(sh.accepted[0].Subject, "confirm") {
+		t.Fatalf("challenge subject = %q", sh.accepted[0].Subject)
+	}
+}
+
+func TestPermanentRejectionBounces(t *testing.T) {
+	sh, addr := startSmarthost(t)
+	sh.permFail["ghost@example.com"] = true
+	q := newQueue(addr)
+	q.Enqueue(challengeTo("ghost@example.com"))
+	q.Enqueue(challengeTo("real@example.com"))
+
+	n, err := q.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("terminal = %d, want 2", n)
+	}
+	st := q.Stats()
+	if st[StatusBounced] != 1 || st[StatusSent] != 1 {
+		t.Fatalf("stats = %v", st)
+	}
+	// The bounced item carries the SMTP error.
+	for _, it := range q.Items() {
+		if it.Status == StatusBounced && !strings.Contains(it.LastError, "550") {
+			t.Fatalf("bounce LastError = %q", it.LastError)
+		}
+	}
+}
+
+func TestTemporaryRejectionRetriesAndExpires(t *testing.T) {
+	sh, addr := startSmarthost(t)
+	sh.tempFail["busy@example.com"] = true
+
+	now := time.Date(2010, 7, 1, 0, 0, 0, 0, time.UTC)
+	q := NewQueue(Config{
+		Dial:          func() (*smtp.Client, error) { return smtp.Dial(addr, 2*time.Second) },
+		HeloDomain:    "cr.corp.example",
+		RetrySchedule: []time.Duration{time.Minute, time.Minute},
+		Now:           func() time.Time { return now },
+	})
+	q.Enqueue(challengeTo("busy@example.com"))
+
+	// Attempt 1: rescheduled.
+	if n, err := q.Flush(); err != nil || n != 0 {
+		t.Fatalf("flush1 = %d, %v", n, err)
+	}
+	if q.Stats()[StatusQueued] != 1 {
+		t.Fatalf("stats after flush1 = %v", q.Stats())
+	}
+	// Not due yet: Flush is a no-op.
+	if n, _ := q.Flush(); n != 0 {
+		t.Fatalf("premature retry")
+	}
+	// Attempt 2 and 3: second reschedule, then expiry.
+	now = now.Add(2 * time.Minute)
+	if _, err := q.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(2 * time.Minute)
+	if n, err := q.Flush(); err != nil || n != 1 {
+		t.Fatalf("final flush = %d, %v", n, err)
+	}
+	if q.Stats()[StatusExpired] != 1 {
+		t.Fatalf("stats = %v", q.Stats())
+	}
+}
+
+func TestDialFailureKeepsQueue(t *testing.T) {
+	q := NewQueue(Config{
+		Dial:       func() (*smtp.Client, error) { return nil, errors.New("no route") },
+		HeloDomain: "cr.corp.example",
+	})
+	q.Enqueue(challengeTo("alice@example.com"))
+	if _, err := q.Flush(); err == nil {
+		t.Fatal("dial failure not reported")
+	}
+	// Item is still queued and due; a later Flush can deliver it.
+	if q.Stats()[StatusQueued] != 1 {
+		t.Fatalf("stats = %v", q.Stats())
+	}
+}
+
+func TestSenderIntegratesWithEngineCallback(t *testing.T) {
+	_, addr := startSmarthost(t)
+	q := newQueue(addr)
+	sender := q.Sender()
+	sender(challengeTo("alice@example.com"))
+	if q.Stats()[StatusQueued] != 1 {
+		t.Fatal("Sender did not enqueue")
+	}
+}
+
+func TestEmptyFlushNoDial(t *testing.T) {
+	dialed := false
+	q := NewQueue(Config{
+		Dial: func() (*smtp.Client, error) {
+			dialed = true
+			return nil, errors.New("should not dial")
+		},
+	})
+	if n, err := q.Flush(); n != 0 || err != nil {
+		t.Fatalf("empty flush = %d, %v", n, err)
+	}
+	if dialed {
+		t.Fatal("Flush dialed with empty queue")
+	}
+}
+
+func TestRenderChallengeHeaders(t *testing.T) {
+	body := RenderChallenge(challengeTo("alice@example.com"))
+	for _, want := range []string{
+		"From: challenge@corp.example",
+		"To: alice@example.com",
+		"Auto-Submitted: auto-replied",
+		"X-CR-Token: tok-xyz",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("RenderChallenge missing %q", want)
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{
+		StatusQueued: "queued", StatusSent: "sent",
+		StatusBounced: "bounced", StatusExpired: "expired",
+	} {
+		if s.String() != want {
+			t.Errorf("Status(%d) = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}

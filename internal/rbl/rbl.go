@@ -1,0 +1,335 @@
+// Package rbl simulates the DNS-blocklist ecosystem the paper's CR product
+// both consumes and suffers from.
+//
+// Two roles:
+//
+//   - As a *filter input* (§2, §5.2): the product queries an IP blacklist
+//     (SpamHaus in the study) for every gray message's client IP and drops
+//     listed senders — 4,973,755 of the study's messages.
+//
+//   - As a *hazard* (§5.1): challenges sent in response to spoofed senders
+//     can land in spamtraps; trap operators feed blocklists, so the
+//     challenge server's own IP gets listed and its outgoing mail bounced.
+//     The paper probes eight public lists (Barracuda, SpamCop, SpamHaus,
+//     Cannibal, Orbit, SORBS, CBL, Surriel) every 4 hours for 132 days.
+//
+// Provider models one blocklist with a trap-driven listing policy and
+// TTL-based delisting. Trap hits are reported through a TrapRegistry which
+// fans them out to all subscribed providers, mirroring how real traps feed
+// multiple lists.
+package rbl
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/mail"
+)
+
+// Policy controls how a provider converts spamtrap hits into listings.
+type Policy struct {
+	// HitThreshold is the number of trap hits within Window required to
+	// list an IP. Real lists differ wildly in sensitivity; the fleet
+	// experiment instantiates providers across this spectrum.
+	HitThreshold int
+	// Window is the sliding window over which hits are counted.
+	Window time.Duration
+	// ListingTTL is how long a listing lasts without further hits. Further
+	// hits while listed extend the listing (as CBL-style lists do).
+	ListingTTL time.Duration
+}
+
+// DefaultPolicy resembles a mid-sensitivity list: three hits in a day,
+// listed for three days.
+func DefaultPolicy() Policy {
+	return Policy{HitThreshold: 3, Window: 24 * time.Hour, ListingTTL: 72 * time.Hour}
+}
+
+// Provider is one simulated DNS blocklist. It is safe for concurrent use.
+type Provider struct {
+	name   string
+	policy Policy
+	clk    clock.Clock
+
+	mu       sync.Mutex
+	hits     map[string][]time.Time // recent trap hits per IP
+	listings map[string]time.Time   // IP -> listed-until
+	manual   map[string]bool        // permanently listed (known spammers)
+	history  map[string][]Interval  // completed + open listing intervals
+}
+
+// Interval is a half-open listing period; Until is zero while still listed.
+type Interval struct {
+	From  time.Time
+	Until time.Time
+}
+
+// NewProvider returns a provider with the given name and policy.
+func NewProvider(name string, policy Policy, clk clock.Clock) *Provider {
+	return &Provider{
+		name:     name,
+		policy:   policy,
+		clk:      clk,
+		hits:     make(map[string][]time.Time),
+		listings: make(map[string]time.Time),
+		manual:   make(map[string]bool),
+		history:  make(map[string][]Interval),
+	}
+}
+
+// Name returns the provider's name.
+func (p *Provider) Name() string { return p.name }
+
+// AddStatic permanently lists ip — used to seed the providers with the
+// "known spammer" population that the product's RBL filter catches.
+func (p *Provider) AddStatic(ip string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.manual[ip] = true
+}
+
+// ReportTrapHit records that ip delivered a message to a spamtrap and
+// lists the IP if the policy threshold is crossed.
+func (p *Provider) ReportTrapHit(ip string) {
+	now := p.clk.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	// Slide the window.
+	recent := p.hits[ip][:0]
+	for _, t := range p.hits[ip] {
+		if now.Sub(t) <= p.policy.Window {
+			recent = append(recent, t)
+		}
+	}
+	recent = append(recent, now)
+	p.hits[ip] = recent
+
+	if until, listed := p.listings[ip]; listed && until.After(now) {
+		// Already listed: extend.
+		p.listings[ip] = now.Add(p.policy.ListingTTL)
+		return
+	}
+	if len(recent) >= p.policy.HitThreshold {
+		p.listings[ip] = now.Add(p.policy.ListingTTL)
+		p.history[ip] = append(p.history[ip], Interval{From: now})
+	}
+}
+
+// IsListed reports whether ip is currently listed.
+func (p *Provider) IsListed(ip string) bool {
+	now := p.clk.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.manual[ip] {
+		return true
+	}
+	until, ok := p.listings[ip]
+	if !ok {
+		return false
+	}
+	if !until.After(now) {
+		// Expired: close the history interval lazily.
+		delete(p.listings, ip)
+		if h := p.history[ip]; len(h) > 0 && h[len(h)-1].Until.IsZero() {
+			h[len(h)-1].Until = until
+		}
+		return false
+	}
+	return true
+}
+
+// History returns the listing intervals recorded for ip, closing any
+// still-open interval at the current listed-until time for reporting.
+func (p *Provider) History(ip string) []Interval {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h := p.history[ip]
+	out := make([]Interval, len(h))
+	copy(out, h)
+	for i := range out {
+		if out[i].Until.IsZero() {
+			if until, ok := p.listings[ip]; ok {
+				out[i].Until = until
+			} else {
+				out[i].Until = p.clk.Now()
+			}
+		}
+	}
+	return out
+}
+
+// TrapRegistry is the set of spamtrap addresses and the providers they
+// feed. Trap addresses look like ordinary mailboxes; a CR system cannot
+// tell it is challenging a trap — that is precisely the §5.1 hazard.
+type TrapRegistry struct {
+	mu        sync.RWMutex
+	traps     map[string]bool // address key -> is a trap
+	providers []*Provider
+	hits      int64
+}
+
+// NewTrapRegistry returns an empty registry feeding the given providers.
+func NewTrapRegistry(providers ...*Provider) *TrapRegistry {
+	return &TrapRegistry{traps: make(map[string]bool), providers: providers}
+}
+
+// AddTrap registers addr as a spamtrap.
+func (t *TrapRegistry) AddTrap(addr mail.Address) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.traps[addr.Key()] = true
+}
+
+// IsTrap reports whether addr is a registered trap.
+func (t *TrapRegistry) IsTrap(addr mail.Address) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.traps[addr.Key()]
+}
+
+// Hit records a delivery from srcIP to the trap addr, feeding every
+// subscribed provider. It is a no-op if addr is not a trap. Returns
+// whether a trap was hit.
+func (t *TrapRegistry) Hit(addr mail.Address, srcIP string) bool {
+	t.mu.RLock()
+	isTrap := t.traps[addr.Key()]
+	providers := t.providers
+	t.mu.RUnlock()
+	if !isTrap {
+		return false
+	}
+	t.mu.Lock()
+	t.hits++
+	t.mu.Unlock()
+	for _, p := range providers {
+		p.ReportTrapHit(srcIP)
+	}
+	return true
+}
+
+// Hits returns the total number of trap hits recorded.
+func (t *TrapRegistry) Hits() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.hits
+}
+
+// Count returns the number of registered traps.
+func (t *TrapRegistry) Count() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.traps)
+}
+
+// Checker reproduces the paper's §5.1 measurement script: it polls a set
+// of providers for a set of IPs on a fixed period (the paper used 4 hours
+// for 132 days) and accumulates, per IP, the number of polls at which the
+// IP appeared on at least one list.
+type Checker struct {
+	providers []*Provider
+
+	mu      sync.Mutex
+	polls   int
+	listedN map[string]int // IP -> #polls listed on >=1 provider
+	byProv  map[string]map[string]int
+}
+
+// NewChecker returns a Checker over the given providers.
+func NewChecker(providers ...*Provider) *Checker {
+	return &Checker{
+		providers: providers,
+		listedN:   make(map[string]int),
+		byProv:    make(map[string]map[string]int),
+	}
+}
+
+// Poll queries every provider for every IP once, updating counters.
+// Duplicate IPs in the slice (e.g. a shared challenge/mail address) are
+// counted once.
+func (c *Checker) Poll(ips []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.polls++
+	seen := make(map[string]bool, len(ips))
+	for _, ip := range ips {
+		if seen[ip] {
+			continue
+		}
+		seen[ip] = true
+		any := false
+		for _, p := range c.providers {
+			if p.IsListed(ip) {
+				any = true
+				m := c.byProv[p.Name()]
+				if m == nil {
+					m = make(map[string]int)
+					c.byProv[p.Name()] = m
+				}
+				m[ip]++
+			}
+		}
+		if any {
+			c.listedN[ip]++
+		}
+	}
+}
+
+// Polls returns the number of Poll calls so far.
+func (c *Checker) Polls() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.polls
+}
+
+// ListedFraction returns, for ip, the fraction of polls at which it was
+// listed on at least one provider.
+func (c *Checker) ListedFraction(ip string) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.polls == 0 {
+		return 0
+	}
+	return float64(c.listedN[ip]) / float64(c.polls)
+}
+
+// ListedDays converts the listed-poll count for ip into equivalent days
+// given the polling period.
+func (c *Checker) ListedDays(ip string, period time.Duration) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return float64(c.listedN[ip]) * period.Hours() / 24
+}
+
+// IPs returns all IPs that were listed at least once, sorted.
+func (c *Checker) IPs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.listedN))
+	for ip := range c.listedN {
+		out = append(out, ip)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StandardProviders builds the eight-list panel from §5.1 with policies
+// spanning aggressive (CBL-like, 1 hit) to conservative (5 hits). The
+// returned slice order matches the paper's enumeration.
+func StandardProviders(clk clock.Clock) []*Provider {
+	mk := func(name string, thr int, window, ttl time.Duration) *Provider {
+		return NewProvider(name, Policy{HitThreshold: thr, Window: window, ListingTTL: ttl}, clk)
+	}
+	return []*Provider{
+		mk("barracuda", 2, 24*time.Hour, 48*time.Hour),
+		mk("spamcop", 2, 24*time.Hour, 24*time.Hour),
+		mk("spamhaus", 3, 24*time.Hour, 72*time.Hour),
+		mk("cannibal", 1, 48*time.Hour, 7*24*time.Hour),
+		mk("orbit", 4, 24*time.Hour, 48*time.Hour),
+		mk("sorbs", 3, 48*time.Hour, 96*time.Hour),
+		mk("cbl", 1, 24*time.Hour, 24*time.Hour),
+		mk("surriel", 5, 24*time.Hour, 48*time.Hour),
+	}
+}

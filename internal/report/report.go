@@ -1,0 +1,142 @@
+// Package report renders the reproduction's tables and figures as
+// aligned ASCII, mirroring the layout of the paper's tables (Table 1, the
+// drop-reason table) and the content of its figures (bar charts and CDFs
+// become labelled rows with proportional bars).
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid with a header row.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render returns the aligned table.
+func (t *Table) Render() string {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", len(t.Title)))
+		b.WriteByte('\n')
+	}
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(cell, widths[i]))
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		total := 0
+		for _, w := range widths {
+			total += w
+		}
+		b.WriteString(strings.Repeat("-", total+2*(cols-1)))
+		b.WriteByte('\n')
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Bar renders a proportional bar of the given fraction (clamped to
+// [0, 1]) using width characters, with a numeric suffix.
+func Bar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*float64(width) + 0.5)
+	return fmt.Sprintf("%s%s %6.2f%%", strings.Repeat("#", n), strings.Repeat(".", width-n), frac*100)
+}
+
+// Percent formats a fraction as a percentage.
+func Percent(frac float64) string {
+	return fmt.Sprintf("%.2f%%", frac*100)
+}
+
+// Figure is a titled block of pre-formatted lines.
+type Figure struct {
+	Title string
+	Lines []string
+}
+
+// Addf appends a formatted line.
+func (f *Figure) Addf(format string, args ...interface{}) {
+	f.Lines = append(f.Lines, fmt.Sprintf(format, args...))
+}
+
+// AddBar appends a labelled proportional bar line.
+func (f *Figure) AddBar(label string, frac float64) {
+	f.Addf("%-28s %s", label, Bar(frac, 40))
+}
+
+// Render returns the figure block.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	b.WriteString(f.Title)
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat("=", len(f.Title)))
+	b.WriteByte('\n')
+	for _, l := range f.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAlignment(t *testing.T) {
+	tbl := &Table{
+		Title:   "General Statistics",
+		Headers: []string{"Metric", "Value"},
+	}
+	tbl.AddRow("Number of Companies", 47)
+	tbl.AddRow("Reflection ratio", 0.193)
+	out := tbl.Render()
+	for _, want := range []string{"General Statistics", "Metric", "Number of Companies", "47", "0.193"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, underline, headers, separator, two rows.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// The value column must be aligned: both data rows have "47"/"0.193"
+	// starting at the same column.
+	i1 := strings.Index(lines[4], "47")
+	i2 := strings.Index(lines[5], "0.193")
+	if i1 != i2 {
+		t.Fatalf("columns misaligned: %d vs %d\n%s", i1, i2, out)
+	}
+}
+
+func TestTableNoTitleNoHeaders(t *testing.T) {
+	tbl := &Table{}
+	tbl.AddRow("a", "b")
+	out := tbl.Render()
+	if strings.Contains(out, "=") || strings.Contains(out, "---") {
+		t.Fatalf("unexpected decorations:\n%s", out)
+	}
+	if !strings.Contains(out, "a  b") {
+		t.Fatalf("row missing:\n%s", out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tbl := &Table{Headers: []string{"A", "B", "C"}}
+	tbl.AddRow("only-one")
+	out := tbl.Render() // must not panic
+	if !strings.Contains(out, "only-one") {
+		t.Fatal("ragged row lost")
+	}
+}
+
+func TestBar(t *testing.T) {
+	full := Bar(1, 10)
+	if !strings.HasPrefix(full, "##########") || !strings.Contains(full, "100.00%") {
+		t.Fatalf("Bar(1) = %q", full)
+	}
+	empty := Bar(0, 10)
+	if !strings.HasPrefix(empty, "..........") || !strings.Contains(empty, "0.00%") {
+		t.Fatalf("Bar(0) = %q", empty)
+	}
+	half := Bar(0.5, 10)
+	if !strings.HasPrefix(half, "#####.....") {
+		t.Fatalf("Bar(0.5) = %q", half)
+	}
+	// Clamping.
+	if !strings.Contains(Bar(1.7, 10), "100.00%") {
+		t.Fatal("Bar not clamped high")
+	}
+	if !strings.Contains(Bar(-0.5, 10), "0.00%") {
+		t.Fatal("Bar not clamped low")
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.193); got != "19.30%" {
+		t.Fatalf("Percent = %q", got)
+	}
+}
+
+func TestFigure(t *testing.T) {
+	f := &Figure{Title: "Figure 4(a): Challenge delivery status"}
+	f.AddBar("delivered", 0.49)
+	f.Addf("total: %d", 4299610)
+	out := f.Render()
+	for _, want := range []string{"Figure 4(a)", "delivered", "49.00%", "total: 4299610", "===="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Figure missing %q:\n%s", want, out)
+		}
+	}
+}

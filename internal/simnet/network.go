@@ -1,0 +1,488 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/dnssim"
+	"repro/internal/mail"
+	"repro/internal/rbl"
+)
+
+// ChallengeStatus is the final delivery status of one challenge email,
+// the classification behind Figure 4(a).
+type ChallengeStatus int
+
+// Challenge delivery outcomes.
+const (
+	// StatusPending: still being attempted.
+	StatusPending ChallengeStatus = iota
+	// StatusDelivered: accepted by the destination server.
+	StatusDelivered
+	// StatusBouncedNoUser: rejected because the recipient does not exist
+	// (71.7% of the study's bounces — the spoofed-sender signature).
+	StatusBouncedNoUser
+	// StatusBouncedNoDomain: the recipient domain has no mail server.
+	StatusBouncedNoDomain
+	// StatusBouncedBlacklisted: rejected because the challenge server's
+	// IP is on a blocklist the destination consults (§5.1).
+	StatusBouncedBlacklisted
+	// StatusExpired: all delivery attempts failed transiently and the
+	// message aged out of the outbound queue.
+	StatusExpired
+)
+
+// String returns the status label.
+func (s ChallengeStatus) String() string {
+	switch s {
+	case StatusPending:
+		return "pending"
+	case StatusDelivered:
+		return "delivered"
+	case StatusBouncedNoUser:
+		return "bounced-no-user"
+	case StatusBouncedNoDomain:
+		return "bounced-no-domain"
+	case StatusBouncedBlacklisted:
+		return "bounced-blacklisted"
+	case StatusExpired:
+		return "expired"
+	default:
+		return fmt.Sprintf("ChallengeStatus(%d)", int(s))
+	}
+}
+
+// Bounced reports whether the status is any bounce variant.
+func (s ChallengeStatus) Bounced() bool {
+	return s == StatusBouncedNoUser || s == StatusBouncedNoDomain || s == StatusBouncedBlacklisted
+}
+
+// ChallengeRecord tracks one challenge through delivery and solving.
+type ChallengeRecord struct {
+	Challenge core.OutboundChallenge
+	Company   string
+	FromIP    string
+	Status    ChallengeStatus
+	Attempts  int // delivery attempts
+	Delivered time.Time
+	Visited   bool
+	Solved    bool
+	SolvedAt  time.Time
+	// CaptchaAttempts is the number of answer submissions used on a
+	// successful solve (1 = first try).
+	CaptchaAttempts int
+	TrapHit         bool
+	Persona         Persona // meaningful when delivered to an existing mailbox
+}
+
+// Company is one CR installation attached to the network.
+type Company struct {
+	// Name identifies the company in reports.
+	Name string
+	// Engine is the company's CR engine.
+	Engine *core.Engine
+	// ChallengeIP is the MTA-OUT address used for challenges.
+	ChallengeIP string
+	// MailIP is the MTA-OUT address used for ordinary user mail. A third
+	// of the study's installations used a second IP here to shield user
+	// mail from challenge-induced blacklisting (§5.1).
+	MailIP string
+}
+
+// SplitMTAOut reports whether challenges and user mail use distinct IPs.
+func (c *Company) SplitMTAOut() bool { return c.ChallengeIP != c.MailIP }
+
+// UserMailOutcome is the fate of an ordinary outbound user message, used
+// by the split-MTA-OUT ablation.
+type UserMailOutcome int
+
+// Outbound user-mail outcomes.
+const (
+	// UserMailDelivered: accepted by the destination.
+	UserMailDelivered UserMailOutcome = iota
+	// UserMailBouncedBlacklisted: rejected because the sending IP is
+	// blocklisted — collateral damage of challenge backscatter.
+	UserMailBouncedBlacklisted
+	// UserMailBouncedNoUser: no such recipient.
+	UserMailBouncedNoUser
+	// UserMailFailed: destination unreachable.
+	UserMailFailed
+)
+
+// Config parameterises a Network.
+type Config struct {
+	// Seed drives all persona randomness.
+	Seed int64
+	// TransitDelay is the base SMTP transit time for a challenge.
+	TransitDelay time.Duration
+	// RetrySchedule are the delays between delivery attempts to a
+	// transiently-failing server; when exhausted the challenge expires.
+	RetrySchedule []time.Duration
+	// EmitDSNs, when true, turns every bounced or expired challenge into
+	// a real delivery-status-notification message delivered back to the
+	// originating company's MTA-IN (null envelope sender, per RFC 3464).
+	// This closes the loop the paper's administrators saw in their logs:
+	// a CR server's inbox fills with bounces of its own challenges.
+	EmitDSNs bool
+}
+
+// DefaultRetrySchedule mirrors a conventional MTA queue: growing backoff
+// over roughly two days, then give up (the study's "expired after many
+// unsuccessful attempts").
+var DefaultRetrySchedule = []time.Duration{
+	15 * time.Minute, time.Hour, 4 * time.Hour, 12 * time.Hour, 24 * time.Hour,
+}
+
+// Network is the simulated Internet: remote servers, blocklist
+// providers, spamtraps, and the delivery agent. Events run on the
+// caller's scheduler (virtual time).
+type Network struct {
+	clk       *clock.Sim
+	sched     *clock.Scheduler
+	dns       *dnssim.Server
+	providers []*rbl.Provider
+	traps     *rbl.TrapRegistry
+	cfg       Config
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	remotes   map[string]*RemoteServer
+	companies map[string]*Company
+	records   []*ChallengeRecord
+	userMail  map[UserMailOutcome]int64
+}
+
+// New assembles a Network.
+func New(clk *clock.Sim, sched *clock.Scheduler, dns *dnssim.Server, providers []*rbl.Provider, traps *rbl.TrapRegistry, cfg Config) *Network {
+	if cfg.TransitDelay <= 0 {
+		cfg.TransitDelay = 30 * time.Second
+	}
+	if len(cfg.RetrySchedule) == 0 {
+		cfg.RetrySchedule = DefaultRetrySchedule
+	}
+	return &Network{
+		clk:       clk,
+		sched:     sched,
+		dns:       dns,
+		providers: providers,
+		traps:     traps,
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		remotes:   make(map[string]*RemoteServer),
+		companies: make(map[string]*Company),
+		userMail:  make(map[UserMailOutcome]int64),
+	}
+}
+
+// DNS returns the network's DNS server.
+func (n *Network) DNS() *dnssim.Server { return n.dns }
+
+// Traps returns the spamtrap registry.
+func (n *Network) Traps() *rbl.TrapRegistry { return n.traps }
+
+// Providers returns the blocklist providers.
+func (n *Network) Providers() []*rbl.Provider { return n.providers }
+
+// AddRemote registers a remote mail server and its DNS records. An
+// unreachable server still has DNS records (the spammer's spoofed domain
+// resolves; its mail server just never answers).
+func (n *Network) AddRemote(r *RemoteServer) {
+	n.mu.Lock()
+	n.remotes[r.Domain] = r
+	n.mu.Unlock()
+	n.dns.RegisterMailDomain(r.Domain, r.IP)
+}
+
+// Remote returns the server for domain, or nil.
+func (n *Network) Remote(domain string) *RemoteServer {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.remotes[domain]
+}
+
+// AttachCompany wires a company's engine to the network: its challenges
+// are delivered through the simulated Internet from its ChallengeIP.
+func (n *Network) AttachCompany(c *Company) {
+	n.mu.Lock()
+	n.companies[c.Name] = c
+	n.mu.Unlock()
+	c.Engine.SetChallengeSender(func(ch core.OutboundChallenge) {
+		n.SubmitChallenge(c, ch)
+	})
+}
+
+// Company returns the attached company by name, or nil.
+func (n *Network) Company(name string) *Company {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.companies[name]
+}
+
+// Companies returns the attached companies sorted by name.
+func (n *Network) Companies() []*Company {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]*Company, 0, len(n.companies))
+	for _, c := range n.companies {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SubmitChallenge queues a challenge for delivery after the transit
+// delay. The delivery agent then walks the retry schedule.
+func (n *Network) SubmitChallenge(c *Company, ch core.OutboundChallenge) {
+	rec := &ChallengeRecord{
+		Challenge: ch,
+		Company:   c.Name,
+		FromIP:    c.ChallengeIP,
+		Status:    StatusPending,
+	}
+	n.mu.Lock()
+	n.records = append(n.records, rec)
+	n.mu.Unlock()
+	n.sched.After(n.cfg.TransitDelay, func() { n.attemptDelivery(c, rec) })
+}
+
+// attemptDelivery tries to hand rec to the destination server once.
+func (n *Network) attemptDelivery(c *Company, rec *ChallengeRecord) {
+	rec.Attempts++
+	to := rec.Challenge.To
+
+	n.mu.Lock()
+	remote := n.remotes[to.Domain]
+	n.mu.Unlock()
+
+	// No server for the domain (or no DNS): hard bounce.
+	if remote == nil || !n.dns.Resolvable(to.Domain) {
+		rec.Status = StatusBouncedNoDomain
+		n.emitDSN(c, rec, "", "host not found")
+		return
+	}
+
+	if remote.Unreachable || n.clk.Now().Before(remote.DownUntil) {
+		n.retryOrExpire(c, rec)
+		return
+	}
+
+	// Destination screens inbound mail against its blocklist: a listed
+	// challenge-server IP gets a 5xx (permanent) rejection.
+	if remote.Screen != nil && remote.Screen.IsListed(rec.FromIP) {
+		rec.Status = StatusBouncedBlacklisted
+		n.emitDSN(c, rec, remote.IP, "550 connection refused: "+rec.FromIP+" listed on "+remote.Screen.Name())
+		return
+	}
+
+	// Spamtraps accept everything (that is how they lure spam) and
+	// report the sending IP to the blocklist providers.
+	if n.traps != nil && n.traps.IsTrap(to) {
+		rec.Status = StatusDelivered
+		rec.Delivered = n.clk.Now()
+		rec.TrapHit = true
+		n.traps.Hit(to, rec.FromIP)
+		return
+	}
+
+	persona, behavior, exists := remote.Lookup(to)
+	if !exists {
+		rec.Status = StatusBouncedNoUser
+		n.emitDSN(c, rec, remote.IP, "550 no such user: "+to.String())
+		return
+	}
+
+	rec.Status = StatusDelivered
+	rec.Delivered = n.clk.Now()
+	rec.Persona = persona
+	n.scheduleRecipientReaction(c, rec, behavior)
+}
+
+// emitDSN synthesises the delivery-status notification a remote (or the
+// local queue runner) sends when a challenge cannot be delivered, and
+// feeds it back into the originating company's MTA-IN after a transit
+// delay. DSNs use the null reverse-path, so the engine never challenges
+// them (that would loop); they sit in the gray spool for the digest.
+func (n *Network) emitDSN(c *Company, rec *ChallengeRecord, srcIP, reason string) {
+	if !n.cfg.EmitDSNs {
+		return
+	}
+	if srcIP == "" {
+		// Local-queue DSNs (expiry, no-domain) originate from the
+		// company's own MTA-OUT.
+		srcIP = c.MailIP
+	}
+	dsn := &mail.Message{
+		ID:           mail.NewID("dsn"),
+		EnvelopeFrom: mail.Null,
+		Rcpt:         rec.Challenge.From,
+		Subject:      "Undelivered Mail Returned to Sender",
+		Body:         "The challenge to <" + rec.Challenge.To.String() + "> failed: " + reason,
+		Size:         1200 + len(reason),
+		ClientIP:     srcIP,
+		Received:     n.clk.Now(),
+	}
+	n.sched.After(n.cfg.TransitDelay, func() { c.Engine.Receive(dsn) })
+}
+
+func (n *Network) retryOrExpire(c *Company, rec *ChallengeRecord) {
+	idx := rec.Attempts - 1
+	if idx >= len(n.cfg.RetrySchedule) {
+		rec.Status = StatusExpired
+		n.emitDSN(c, rec, "", "delivery time expired")
+		return
+	}
+	n.sched.After(n.cfg.RetrySchedule[idx], func() { n.attemptDelivery(c, rec) })
+}
+
+// scheduleRecipientReaction decides, per the mailbox behavior profile,
+// whether the challenge URL gets visited and solved, and schedules those
+// actions in virtual time.
+func (n *Network) scheduleRecipientReaction(c *Company, rec *ChallengeRecord, b Behavior) {
+	n.mu.Lock()
+	visit := n.rng.Float64() < b.VisitProb
+	solve := visit && n.rng.Float64() < b.SolveProbGivenVisit
+	var delay time.Duration
+	if b.Delay != nil {
+		delay = b.Delay(n.rng)
+	}
+	attempts := 1
+	if len(b.AttemptsDist) > 0 {
+		attempts = sampleAttempts(n.rng, b.AttemptsDist)
+	}
+	n.mu.Unlock()
+
+	if !visit {
+		return
+	}
+	n.sched.After(delay, func() {
+		svc := c.Engine.Captcha()
+		if _, err := svc.Visit(rec.Challenge.Token); err != nil {
+			return // expired or already resolved via digest
+		}
+		rec.Visited = true
+		if !solve {
+			return
+		}
+		// Fumble attempts-1 times, then submit the right answer. Each
+		// wrong try is a real Solve call so the service's attempt
+		// counters match Figure 4(b).
+		for i := 0; i < attempts-1; i++ {
+			_ = svc.Solve(rec.Challenge.Token, "wrong-answer")
+		}
+		ans, err := svc.Answer(rec.Challenge.Token)
+		if err != nil {
+			return
+		}
+		if err := svc.Solve(rec.Challenge.Token, ans); err != nil {
+			return
+		}
+		rec.Solved = true
+		rec.SolvedAt = n.clk.Now()
+		rec.CaptchaAttempts = attempts
+	})
+}
+
+// SendUserMail models one ordinary outbound message from a company user
+// through the company's MailIP, returning its fate. This is the §5.1
+// collateral-damage channel: if challenge backscatter got the shared IP
+// blacklisted, user mail bounces too.
+func (n *Network) SendUserMail(c *Company, to mail.Address) UserMailOutcome {
+	n.mu.Lock()
+	remote := n.remotes[to.Domain]
+	n.mu.Unlock()
+
+	outcome := UserMailDelivered
+	switch {
+	case remote == nil || remote.Unreachable:
+		outcome = UserMailFailed
+	case remote.Screen != nil && remote.Screen.IsListed(c.MailIP):
+		outcome = UserMailBouncedBlacklisted
+	default:
+		if _, _, ok := remote.Lookup(to); !ok && !(n.traps != nil && n.traps.IsTrap(to)) {
+			outcome = UserMailBouncedNoUser
+		}
+	}
+	n.mu.Lock()
+	n.userMail[outcome]++
+	n.mu.Unlock()
+	return outcome
+}
+
+// UserMailStats returns the outbound user-mail outcome counters.
+func (n *Network) UserMailStats() map[UserMailOutcome]int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[UserMailOutcome]int64, len(n.userMail))
+	for k, v := range n.userMail {
+		out[k] = v
+	}
+	return out
+}
+
+// Records returns a snapshot of all challenge records.
+func (n *Network) Records() []*ChallengeRecord {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]*ChallengeRecord, len(n.records))
+	copy(out, n.records)
+	return out
+}
+
+// DeliveryStats aggregates challenge records into the Figure 4(a)
+// distribution plus the solve/visit bookkeeping of §3.2.
+type DeliveryStats struct {
+	Total        int
+	ByStatus     map[ChallengeStatus]int
+	TrapHits     int
+	Solved       int
+	VisitedOnly  int
+	NeverVisited int // delivered (non-trap) but URL never opened
+}
+
+// DeliveryStats computes the aggregate over all records.
+func (n *Network) DeliveryStats() DeliveryStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := DeliveryStats{ByStatus: make(map[ChallengeStatus]int)}
+	for _, r := range n.records {
+		st.Total++
+		st.ByStatus[r.Status]++
+		if r.TrapHit {
+			st.TrapHits++
+		}
+		if r.Status == StatusDelivered && !r.TrapHit {
+			switch {
+			case r.Solved:
+				st.Solved++
+			case r.Visited:
+				st.VisitedOnly++
+			default:
+				st.NeverVisited++
+			}
+		} else if r.Status == StatusDelivered && r.TrapHit {
+			st.NeverVisited++
+		}
+	}
+	return st
+}
+
+// AttemptsHistogram returns, over solved challenges, how many CAPTCHA
+// attempts each took (keys 1..5) — Figure 4(b). Solved challenges are
+// removed from the captcha services on delivery, so the records are the
+// surviving source of truth.
+func (n *Network) AttemptsHistogram() map[int]int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[int]int)
+	for _, r := range n.records {
+		if r.Solved && r.CaptchaAttempts > 0 {
+			out[r.CaptchaAttempts]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,496 @@
+// Package smtp implements the RFC 5321 mail-transfer layer of the CR
+// deployment: the server that fronts the MTA-IN and a client used to send
+// challenges and user mail.
+//
+// The implementation is deliberately a subset: HELO/EHLO, MAIL, RCPT,
+// DATA (with dot-stuffing), RSET, NOOP, VRFY and QUIT, plus the SIZE
+// extension — the commands the product's mail path exercises. The server
+// delegates policy to a Backend so internal/core supplies the acceptance
+// decisions (including per-recipient 550s for unknown users, which is how
+// the study's MTA-INs rejected 62.36% of traffic).
+package smtp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/mail"
+)
+
+// Reply is an SMTP status reply.
+type Reply struct {
+	Code int
+	Text string
+}
+
+// Error returns the reply as "code text" — Reply doubles as the error
+// type backends use to reject commands.
+func (r *Reply) Error() string { return fmt.Sprintf("%d %s", r.Code, r.Text) }
+
+// Temporary reports whether the reply is a 4xx transient failure.
+func (r *Reply) Temporary() bool { return r.Code >= 400 && r.Code < 500 }
+
+// Standard replies.
+var (
+	replyBadSequence   = &Reply{503, "bad sequence of commands"}
+	replySyntax        = &Reply{501, "syntax error in parameters"}
+	replyUnknown       = &Reply{500, "command not recognized"}
+	replyOK            = &Reply{250, "OK"}
+	replyStartData     = &Reply{354, "start mail input; end with <CRLF>.<CRLF>"}
+	replyBye           = &Reply{221, "closing connection"}
+	replyCannotVerify  = &Reply{252, "cannot VRFY user, but will accept message"}
+	replyTooBig        = &Reply{552, "message size exceeds fixed maximum"}
+	replyNoValidRcpts  = &Reply{554, "no valid recipients"}
+	replyMailboxSyntax = &Reply{553, "mailbox name not allowed"}
+)
+
+// Backend supplies the policy decisions for a Server. Methods return nil
+// to accept or a *Reply to reject with that status. Implementations must
+// be safe for concurrent use.
+type Backend interface {
+	// ValidateSender is called at MAIL FROM with the parsed reverse-path.
+	ValidateSender(from mail.Address) *Reply
+	// ValidateRcpt is called at each RCPT TO.
+	ValidateRcpt(from, rcpt mail.Address) *Reply
+	// Deliver is called once per accepted recipient after DATA completes.
+	// The message carries that recipient in Rcpt.
+	Deliver(msg *mail.Message) *Reply
+}
+
+// Config parameterises a Server.
+type Config struct {
+	// Hostname is announced in the greeting and HELO replies.
+	Hostname string
+	// MaxMessageBytes caps DATA size (advertised via SIZE). 0 = 10 MiB.
+	MaxMessageBytes int
+	// MaxRecipients caps RCPT count per transaction. 0 = 100.
+	MaxRecipients int
+	// ReadTimeout bounds each command read. 0 = 5 minutes.
+	ReadTimeout time.Duration
+	// Now supplies message receipt timestamps; nil = time.Now.
+	Now func() time.Time
+}
+
+// Server accepts SMTP connections and feeds accepted mail to a Backend.
+type Server struct {
+	cfg     Config
+	backend Backend
+
+	mu       sync.Mutex
+	listener net.Listener
+	closed   bool
+	conns    map[net.Conn]struct{}
+}
+
+// NewServer returns a Server with the given backend.
+func NewServer(cfg Config, backend Backend) *Server {
+	if cfg.Hostname == "" {
+		cfg.Hostname = "mta.invalid"
+	}
+	if cfg.MaxMessageBytes <= 0 {
+		cfg.MaxMessageBytes = 10 << 20
+	}
+	if cfg.MaxRecipients <= 0 {
+		cfg.MaxRecipients = 100
+	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = 5 * time.Minute
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Server{cfg: cfg, backend: backend, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on l until Close is called. It always returns
+// a non-nil error (net.ErrClosed after Close).
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go func() {
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			s.ServeConn(conn)
+		}()
+	}
+}
+
+// Close stops the listener and closes active connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+}
+
+// session is the per-connection state machine.
+type session struct {
+	srv    *Server
+	conn   net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	remote string // client IP (dotted quad)
+
+	helo string
+	from mail.Address
+	// gotFrom distinguishes "MAIL FROM:<>" (null sender, legal) from
+	// "no MAIL yet".
+	gotFrom bool
+	rcpts   []mail.Address
+}
+
+// ServeConn runs one SMTP session on conn. Exposed so tests and the
+// in-memory transport can drive sessions over net.Pipe.
+func (s *Server) ServeConn(conn net.Conn) {
+	sess := &session{
+		srv:  s,
+		conn: conn,
+		br:   bufio.NewReader(conn),
+		bw:   bufio.NewWriter(conn),
+	}
+	if addr, ok := conn.RemoteAddr().(*net.TCPAddr); ok {
+		sess.remote = addr.IP.String()
+	} else if host, _, err := net.SplitHostPort(conn.RemoteAddr().String()); err == nil {
+		sess.remote = host
+	}
+	sess.run()
+}
+
+func (s *session) reply(r *Reply) error {
+	if _, err := fmt.Fprintf(s.bw, "%d %s\r\n", r.Code, r.Text); err != nil {
+		return err
+	}
+	return s.bw.Flush()
+}
+
+func (s *session) replyLines(code int, lines ...string) error {
+	for i, l := range lines {
+		sep := "-"
+		if i == len(lines)-1 {
+			sep = " "
+		}
+		if _, err := fmt.Fprintf(s.bw, "%d%s%s\r\n", code, sep, l); err != nil {
+			return err
+		}
+	}
+	return s.bw.Flush()
+}
+
+func (s *session) readLine() (string, error) {
+	if err := s.conn.SetReadDeadline(time.Now().Add(s.srv.cfg.ReadTimeout)); err != nil {
+		return "", err
+	}
+	line, err := s.br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+func (s *session) run() {
+	if err := s.reply(&Reply{220, s.srv.cfg.Hostname + " ESMTP ready"}); err != nil {
+		return
+	}
+	for {
+		line, err := s.readLine()
+		if err != nil {
+			return
+		}
+		verb, args := splitVerb(line)
+		switch verb {
+		case "HELO":
+			s.reset()
+			s.helo = args
+			err = s.reply(&Reply{250, s.srv.cfg.Hostname})
+		case "EHLO":
+			s.reset()
+			s.helo = args
+			err = s.replyLines(250,
+				s.srv.cfg.Hostname+" greets you",
+				"SIZE "+strconv.Itoa(s.srv.cfg.MaxMessageBytes),
+				"PIPELINING",
+				"8BITMIME",
+			)
+		case "MAIL":
+			err = s.handleMail(args)
+		case "RCPT":
+			err = s.handleRcpt(args)
+		case "DATA":
+			err = s.handleData()
+		case "RSET":
+			s.reset()
+			err = s.reply(replyOK)
+		case "NOOP":
+			err = s.reply(replyOK)
+		case "VRFY":
+			err = s.reply(replyCannotVerify)
+		case "QUIT":
+			_ = s.reply(replyBye)
+			return
+		default:
+			err = s.reply(replyUnknown)
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (s *session) reset() {
+	s.from = mail.Address{}
+	s.gotFrom = false
+	s.rcpts = nil
+}
+
+func splitVerb(line string) (verb, args string) {
+	verb = line
+	if i := strings.IndexByte(line, ' '); i >= 0 {
+		verb, args = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	return strings.ToUpper(verb), args
+}
+
+// parsePath extracts the address from "FROM:<a@b>" / "TO:<a@b>" syntax,
+// tolerating the space variants real clients emit.
+func parsePath(args, prefix string) (string, string, bool) {
+	rest, ok := cutPrefixFold(args, prefix)
+	if !ok {
+		return "", "", false
+	}
+	rest = strings.TrimSpace(rest)
+	rest, ok = strings.CutPrefix(rest, ":")
+	if !ok {
+		return "", "", false
+	}
+	rest = strings.TrimSpace(rest)
+	// Parameters (e.g. SIZE=nnn) follow the path after a space.
+	path, params, _ := strings.Cut(rest, " ")
+	return path, params, true
+}
+
+func cutPrefixFold(s, prefix string) (string, bool) {
+	if len(s) < len(prefix) || !strings.EqualFold(s[:len(prefix)], prefix) {
+		return s, false
+	}
+	return s[len(prefix):], true
+}
+
+func (s *session) handleMail(args string) error {
+	if s.helo == "" {
+		return s.reply(replyBadSequence)
+	}
+	if s.gotFrom {
+		return s.reply(replyBadSequence)
+	}
+	path, params, ok := parsePath(args, "FROM")
+	if !ok {
+		return s.reply(replySyntax)
+	}
+	addr, err := mail.ParseAddress(path)
+	if err != nil {
+		return s.reply(replyMailboxSyntax)
+	}
+	if size, found := paramInt(params, "SIZE"); found && size > s.srv.cfg.MaxMessageBytes {
+		return s.reply(replyTooBig)
+	}
+	if r := s.srv.backend.ValidateSender(addr); r != nil {
+		return s.reply(r)
+	}
+	s.from = addr
+	s.gotFrom = true
+	return s.reply(replyOK)
+}
+
+func paramInt(params, key string) (int, bool) {
+	for _, p := range strings.Fields(params) {
+		k, v, ok := strings.Cut(p, "=")
+		if ok && strings.EqualFold(k, key) {
+			n, err := strconv.Atoi(v)
+			if err == nil {
+				return n, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func (s *session) handleRcpt(args string) error {
+	if !s.gotFrom {
+		return s.reply(replyBadSequence)
+	}
+	if len(s.rcpts) >= s.srv.cfg.MaxRecipients {
+		return s.reply(&Reply{452, "too many recipients"})
+	}
+	path, _, ok := parsePath(args, "TO")
+	if !ok {
+		return s.reply(replySyntax)
+	}
+	addr, err := mail.ParseAddress(path)
+	if err != nil || addr.IsNull() {
+		return s.reply(replyMailboxSyntax)
+	}
+	if r := s.srv.backend.ValidateRcpt(s.from, addr); r != nil {
+		return s.reply(r)
+	}
+	s.rcpts = append(s.rcpts, addr)
+	return s.reply(replyOK)
+}
+
+func (s *session) handleData() error {
+	if !s.gotFrom {
+		return s.reply(replyBadSequence)
+	}
+	if len(s.rcpts) == 0 {
+		return s.reply(replyNoValidRcpts)
+	}
+	if err := s.reply(replyStartData); err != nil {
+		return err
+	}
+	body, err := s.readData()
+	if err != nil {
+		if errors.Is(err, errTooBig) {
+			// Drain until terminator already handled; report and reset.
+			s.reset()
+			return s.reply(replyTooBig)
+		}
+		return err
+	}
+
+	subject, headerFrom := extractHeaders(body)
+	base := &mail.Message{
+		ID:           mail.NewID("smtp"),
+		EnvelopeFrom: s.from,
+		HeaderFrom:   headerFrom,
+		Subject:      subject,
+		Size:         len(body),
+		Body:         body,
+		ClientIP:     s.remote,
+		HeloDomain:   s.helo,
+		Received:     s.srv.cfg.Now(),
+	}
+	var firstErr *Reply
+	delivered := 0
+	for _, rcpt := range s.rcpts {
+		if r := s.srv.backend.Deliver(base.Clone(rcpt)); r != nil {
+			if firstErr == nil {
+				firstErr = r
+			}
+			continue
+		}
+		delivered++
+	}
+	s.reset()
+	if delivered == 0 && firstErr != nil {
+		return s.reply(firstErr)
+	}
+	return s.reply(&Reply{250, fmt.Sprintf("OK, delivered to %d recipient(s)", delivered)})
+}
+
+var errTooBig = errors.New("smtp: message too large")
+
+// readData consumes a dot-terminated DATA body, undoing dot-stuffing.
+func (s *session) readData() (string, error) {
+	var b strings.Builder
+	for {
+		line, err := s.readLine()
+		if err != nil {
+			return "", err
+		}
+		if line == "." {
+			return b.String(), nil
+		}
+		if strings.HasPrefix(line, ".") {
+			line = line[1:] // dot-unstuffing per RFC 5321 §4.5.2
+		}
+		if b.Len()+len(line)+2 > s.srv.cfg.MaxMessageBytes {
+			// Keep consuming to the terminator so the session survives.
+			for {
+				l, err := s.readLine()
+				if err != nil {
+					return "", err
+				}
+				if l == "." {
+					return "", errTooBig
+				}
+			}
+		}
+		b.WriteString(line)
+		b.WriteString("\r\n")
+	}
+}
+
+// extractHeaders pulls Subject and From out of a raw message body.
+func extractHeaders(body string) (subject string, headerFrom mail.Address) {
+	for _, line := range strings.Split(body, "\r\n") {
+		if line == "" {
+			break // end of headers
+		}
+		if v, ok := cutHeaderField(line, "Subject"); ok {
+			subject = v
+		}
+		if v, ok := cutHeaderField(line, "From"); ok {
+			if a, err := mail.ParseAddress(stripDisplayName(v)); err == nil {
+				headerFrom = a
+			}
+		}
+	}
+	return subject, headerFrom
+}
+
+func cutHeaderField(line, name string) (string, bool) {
+	rest, ok := cutPrefixFold(line, name)
+	if !ok {
+		return "", false
+	}
+	rest, ok = strings.CutPrefix(rest, ":")
+	if !ok {
+		return "", false
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// stripDisplayName reduces `Name <a@b>` to `<a@b>`.
+func stripDisplayName(v string) string {
+	if i := strings.LastIndexByte(v, '<'); i >= 0 {
+		if j := strings.IndexByte(v[i:], '>'); j > 0 {
+			return v[i : i+j+1]
+		}
+	}
+	return v
+}

@@ -1,0 +1,108 @@
+// Package store persists a CR installation's durable state. The
+// whitelists are the product's real asset — the paper's whole premise is
+// that they converge to a stable contact set over weeks (§4.3) — so a
+// deployment must carry them across restarts. Snapshots are JSON,
+// written atomically (temp file + rename) so a crash mid-save never
+// corrupts the previous state.
+//
+// Quarantined messages and outstanding challenges are deliberately NOT
+// persisted: they are 30-day transient state, and the studied product's
+// failure mode (losing in-flight challenges on failover) is survivable —
+// senders simply get re-challenged.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/whitelist"
+)
+
+// FormatVersion identifies the snapshot schema.
+const FormatVersion = 1
+
+// Snapshot is the serialised durable state of one installation.
+type Snapshot struct {
+	Version int                      `json:"version"`
+	Name    string                   `json:"name"`
+	SavedAt time.Time                `json:"saved_at"`
+	Lists   []whitelist.ExportedList `json:"lists"`
+}
+
+// Save writes a snapshot of the store to w.
+func Save(w io.Writer, name string, wl *whitelist.Store, now time.Time) error {
+	snap := Snapshot{
+		Version: FormatVersion,
+		Name:    name,
+		SavedAt: now.UTC(),
+		Lists:   wl.Export(),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&snap); err != nil {
+		return fmt.Errorf("store: encode: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot from r and merges it into wl.
+func Load(r io.Reader, wl *whitelist.Store) (*Snapshot, error) {
+	var snap Snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("store: decode: %w", err)
+	}
+	if snap.Version != FormatVersion {
+		return nil, fmt.Errorf("store: unsupported snapshot version %d", snap.Version)
+	}
+	if err := wl.Import(snap.Lists); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// SaveFile atomically writes the snapshot to path: the data lands in a
+// temp file in the same directory and is renamed into place, so readers
+// never observe a partial snapshot.
+func SaveFile(path, name string, wl *whitelist.Store, now time.Time) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".crstate-*")
+	if err != nil {
+		return fmt.Errorf("store: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after successful rename
+
+	if err := Save(tmp, name, wl, now); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: close: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("store: rename: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads a snapshot file into wl. A missing file is not an
+// error: it returns (nil, nil) so a first boot starts empty.
+func LoadFile(path string, wl *whitelist.Store) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+	defer f.Close()
+	return Load(f, wl)
+}

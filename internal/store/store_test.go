@@ -1,0 +1,167 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/mail"
+	"repro/internal/whitelist"
+)
+
+var (
+	t0  = time.Date(2010, 7, 1, 0, 0, 0, 0, time.UTC)
+	bob = mail.MustParseAddress("bob@corp.example")
+)
+
+func populated(clk *clock.Sim) *whitelist.Store {
+	wl := whitelist.NewStore(clk)
+	wl.AddWhite(bob, mail.MustParseAddress("alice@example.com"), whitelist.SourceChallenge)
+	clk.Advance(time.Hour)
+	wl.AddWhite(bob, mail.MustParseAddress("carol@example.com"), whitelist.SourceDigest)
+	wl.AddBlack(bob, mail.MustParseAddress("spammer@junk.example"))
+	carol := mail.MustParseAddress("carol@corp.example")
+	wl.AddWhite(carol, mail.MustParseAddress("dave@example.com"), whitelist.SourceOutbound)
+	return wl
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	clk := clock.NewSim(t0)
+	src := populated(clk)
+
+	var sb strings.Builder
+	if err := Save(&sb, "corp", src, clk.Now()); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := whitelist.NewStore(clk)
+	snap, err := Load(strings.NewReader(sb.String()), dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Name != "corp" || snap.Version != FormatVersion {
+		t.Fatalf("snapshot header = %+v", snap)
+	}
+
+	if !dst.IsWhite(bob, mail.MustParseAddress("alice@example.com")) {
+		t.Fatal("alice lost")
+	}
+	if !dst.IsBlack(bob, mail.MustParseAddress("spammer@junk.example")) {
+		t.Fatal("blacklist lost")
+	}
+	carol := mail.MustParseAddress("carol@corp.example")
+	if !dst.IsWhite(carol, mail.MustParseAddress("dave@example.com")) {
+		t.Fatal("second user lost")
+	}
+	// Sources and timestamps survive: the churn analysis still works on
+	// the restored store.
+	n := dst.AdditionsBetween(bob, t0, t0.Add(30*time.Minute), whitelist.SourceChallenge)
+	if n != 1 {
+		t.Fatalf("restored challenge-sourced additions in window = %d, want 1", n)
+	}
+}
+
+func TestLoadRejectsBadVersion(t *testing.T) {
+	clk := clock.NewSim(t0)
+	wl := whitelist.NewStore(clk)
+	_, err := Load(strings.NewReader(`{"version": 99, "lists": []}`), wl)
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	clk := clock.NewSim(t0)
+	wl := whitelist.NewStore(clk)
+	if _, err := Load(strings.NewReader("not json"), wl); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestImportIsMergeNotReplace(t *testing.T) {
+	clk := clock.NewSim(t0)
+	src := populated(clk)
+	var sb strings.Builder
+	if err := Save(&sb, "corp", src, clk.Now()); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := whitelist.NewStore(clk)
+	pre := mail.MustParseAddress("pre@existing.example")
+	dst.AddWhite(bob, pre, whitelist.SourceManual)
+	if _, err := Load(strings.NewReader(sb.String()), dst); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.IsWhite(bob, pre) {
+		t.Fatal("pre-existing entry destroyed by Load")
+	}
+	if !dst.IsWhite(bob, mail.MustParseAddress("alice@example.com")) {
+		t.Fatal("imported entry missing")
+	}
+}
+
+func TestSaveFileLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+
+	clk := clock.NewSim(t0)
+	src := populated(clk)
+	if err := SaveFile(path, "corp", src, clk.Now()); err != nil {
+		t.Fatal(err)
+	}
+	// No stray temp files.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("dir has %d entries, want 1", len(entries))
+	}
+
+	dst := whitelist.NewStore(clk)
+	snap, err := LoadFile(path, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || snap.Name != "corp" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if !dst.IsWhite(bob, mail.MustParseAddress("alice@example.com")) {
+		t.Fatal("file round trip lost entries")
+	}
+}
+
+func TestLoadFileMissingIsFirstBoot(t *testing.T) {
+	clk := clock.NewSim(t0)
+	wl := whitelist.NewStore(clk)
+	snap, err := LoadFile(filepath.Join(t.TempDir(), "nope.json"), wl)
+	if err != nil || snap != nil {
+		t.Fatalf("missing file: snap=%v err=%v", snap, err)
+	}
+}
+
+func TestSaveFileOverwritesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	clk := clock.NewSim(t0)
+
+	first := whitelist.NewStore(clk)
+	first.AddWhite(bob, mail.MustParseAddress("v1@example.com"), whitelist.SourceManual)
+	if err := SaveFile(path, "corp", first, clk.Now()); err != nil {
+		t.Fatal(err)
+	}
+	second := populated(clk)
+	if err := SaveFile(path, "corp", second, clk.Now()); err != nil {
+		t.Fatal(err)
+	}
+	dst := whitelist.NewStore(clk)
+	if _, err := LoadFile(path, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst.IsWhite(bob, mail.MustParseAddress("v1@example.com")) {
+		t.Fatal("old snapshot contents leaked through")
+	}
+	if !dst.IsWhite(bob, mail.MustParseAddress("alice@example.com")) {
+		t.Fatal("new snapshot missing")
+	}
+}

@@ -1,0 +1,207 @@
+// Package trace records and replays message workloads. A trace is the
+// synthetic stand-in for the paper's captured production mail streams:
+// once a workload is frozen to a file, the *same byte-identical traffic*
+// can be replayed against differently-configured engines (filter chains,
+// greylisting, SPF) for apples-to-apples comparisons — the experimental
+// discipline a measurement study needs when it cannot rerun the world.
+//
+// Format: one JSON object per line (JSONL), streaming-friendly in both
+// directions; a header line carries metadata.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/mail"
+)
+
+// FormatVersion identifies the trace schema.
+const FormatVersion = 1
+
+// Header is the first line of a trace file.
+type Header struct {
+	Version  int       `json:"version"`
+	Name     string    `json:"name"`
+	Seed     int64     `json:"seed,omitempty"`
+	Created  time.Time `json:"created"`
+	Comment  string    `json:"comment,omitempty"`
+	Messages int64     `json:"messages,omitempty"` // optional, informational
+}
+
+// Record is one traced message: everything the MTA-IN saw, plus the
+// ground-truth class label for scoring.
+type Record struct {
+	At       time.Time `json:"at"`
+	Company  string    `json:"company"`
+	MsgID    string    `json:"id"`
+	From     string    `json:"from"` // "<>" for the null reverse-path
+	Rcpt     string    `json:"rcpt"`
+	Subject  string    `json:"subject,omitempty"`
+	Size     int       `json:"size"`
+	ClientIP string    `json:"client_ip,omitempty"`
+	Class    string    `json:"class,omitempty"` // ground truth
+	Virus    bool      `json:"virus,omitempty"`
+}
+
+// ToMessage reconstructs the mail.Message. Unparsable recipient
+// addresses reconstruct as the zero Address (the malformed-mail case the
+// MTA must reject — traces preserve it).
+func (r Record) ToMessage() *mail.Message {
+	m := &mail.Message{
+		ID:       r.MsgID,
+		Subject:  r.Subject,
+		Size:     r.Size,
+		ClientIP: r.ClientIP,
+		Received: r.At,
+	}
+	if from, err := mail.ParseAddress(r.From); err == nil {
+		m.EnvelopeFrom = from
+	}
+	m.HeaderFrom = m.EnvelopeFrom
+	if rcpt, err := mail.ParseAddress(r.Rcpt); err == nil {
+		m.Rcpt = rcpt
+	}
+	return m
+}
+
+// FromMessage builds a Record from a message.
+func FromMessage(company string, m *mail.Message, class string) Record {
+	return Record{
+		At:       m.Received,
+		Company:  company,
+		MsgID:    m.ID,
+		From:     m.EnvelopeFrom.String(),
+		Rcpt:     m.Rcpt.String(),
+		Subject:  m.Subject,
+		Size:     m.Size,
+		ClientIP: m.ClientIP,
+		Class:    class,
+	}
+}
+
+// Writer streams a trace to an io.Writer.
+type Writer struct {
+	enc   *json.Encoder
+	bw    *bufio.Writer
+	count int64
+	err   error
+}
+
+// NewWriter writes the header and returns a Writer.
+func NewWriter(w io.Writer, h Header) (*Writer, error) {
+	h.Version = FormatVersion
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(&h); err != nil {
+		return nil, fmt.Errorf("trace: header: %w", err)
+	}
+	return &Writer{enc: enc, bw: bw}, nil
+}
+
+// Write appends one record. Errors are sticky.
+func (w *Writer) Write(r Record) {
+	if w.err != nil {
+		return
+	}
+	if err := w.enc.Encode(&r); err != nil {
+		w.err = err
+		return
+	}
+	w.count++
+}
+
+// Count returns records written so far.
+func (w *Writer) Count() int64 { return w.count }
+
+// Flush drains buffers and reports the first sticky error.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.bw.Flush()
+}
+
+// Reader streams a trace from an io.Reader.
+type Reader struct {
+	dec    *json.Decoder
+	header Header
+}
+
+// NewReader consumes the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var h Header
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("trace: header: %w", err)
+	}
+	if h.Version != FormatVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", h.Version)
+	}
+	return &Reader{dec: dec, header: h}, nil
+}
+
+// Header returns the trace metadata.
+func (r *Reader) Header() Header { return r.header }
+
+// Next returns the next record, or io.EOF.
+func (r *Reader) Next() (Record, error) {
+	var rec Record
+	if err := r.dec.Decode(&rec); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("trace: record: %w", err)
+	}
+	return rec, nil
+}
+
+// ReadAll drains the trace into memory.
+func (r *Reader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// Replayer feeds a trace into per-company sinks in timestamp order.
+// Traces are written in order, so replay is a single pass.
+type Replayer struct {
+	reader *Reader
+	// Deliver receives each reconstructed message with its company and
+	// ground-truth class.
+	Deliver func(company string, m *mail.Message, class string)
+}
+
+// Replay drains the trace through the Deliver callback, returning the
+// number of messages replayed.
+func (rp *Replayer) Replay() (int64, error) {
+	if rp.Deliver == nil {
+		return 0, fmt.Errorf("trace: Replayer.Deliver is nil")
+	}
+	var n int64
+	for {
+		rec, err := rp.reader.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		rp.Deliver(rec.Company, rec.ToMessage(), rec.Class)
+		n++
+	}
+}
+
+// NewReplayer wraps a Reader.
+func NewReplayer(r *Reader) *Replayer { return &Replayer{reader: r} }

@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mail"
+)
+
+var t0 = time.Date(2010, 7, 1, 8, 30, 0, 0, time.UTC)
+
+func sampleRecords() []Record {
+	return []Record{
+		{
+			At: t0, Company: "corp-a", MsgID: "m-1",
+			From: "alice@example.com", Rcpt: "bob@corp-a.example",
+			Subject: "hello there", Size: 2048, ClientIP: "192.0.2.1", Class: "legit-new",
+		},
+		{
+			At: t0.Add(time.Minute), Company: "corp-b", MsgID: "m-2",
+			From: "<>", Rcpt: "challenge@corp-b.example",
+			Subject: "Undelivered Mail Returned to Sender", Size: 1200, Class: "null-sender",
+		},
+		{
+			At: t0.Add(2 * time.Minute), Company: "corp-a", MsgID: "m-3",
+			From: "fake123@bystander.example", Rcpt: "bob@corp-a.example",
+			Subject: "buy cheap meds online now best price guaranteed today", Size: 4000,
+			ClientIP: "100.64.0.7", Class: "spam", Virus: true,
+		},
+	}
+}
+
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	var sb strings.Builder
+	w, err := NewWriter(&sb, Header{Name: "test-trace", Seed: 42, Created: t0, Comment: "unit test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sampleRecords() {
+		w.Write(r)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 3 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	return sb.String()
+}
+
+func TestRoundTrip(t *testing.T) {
+	data := writeTrace(t)
+	r, err := NewReader(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := r.Header()
+	if h.Name != "test-trace" || h.Seed != 42 || h.Version != FormatVersion {
+		t.Fatalf("header = %+v", h)
+	}
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleRecords()
+	if len(recs) != len(want) {
+		t.Fatalf("records = %d", len(recs))
+	}
+	for i := range want {
+		if recs[i].MsgID != want[i].MsgID || recs[i].From != want[i].From ||
+			recs[i].Class != want[i].Class || !recs[i].At.Equal(want[i].At) {
+			t.Fatalf("record %d = %+v, want %+v", i, recs[i], want[i])
+		}
+	}
+}
+
+func TestToMessageReconstruction(t *testing.T) {
+	recs := sampleRecords()
+	m := recs[0].ToMessage()
+	if m.EnvelopeFrom.String() != "alice@example.com" || m.Rcpt.String() != "bob@corp-a.example" {
+		t.Fatalf("addresses = %v -> %v", m.EnvelopeFrom, m.Rcpt)
+	}
+	if m.Size != 2048 || !m.Received.Equal(t0) || m.ClientIP != "192.0.2.1" {
+		t.Fatalf("fields lost: %+v", m)
+	}
+	// Null sender round-trips.
+	dsn := recs[1].ToMessage()
+	if !dsn.EnvelopeFrom.IsNull() {
+		t.Fatalf("null sender lost: %v", dsn.EnvelopeFrom)
+	}
+}
+
+func TestFromMessageRoundTrip(t *testing.T) {
+	m := &mail.Message{
+		ID:           "m-9",
+		EnvelopeFrom: mail.MustParseAddress("x@y.example"),
+		Rcpt:         mail.MustParseAddress("u@corp.example"),
+		Subject:      "subject",
+		Size:         512,
+		ClientIP:     "10.0.0.1",
+		Received:     t0,
+	}
+	rec := FromMessage("corp", m, "spam")
+	back := rec.ToMessage()
+	if back.ID != m.ID || back.EnvelopeFrom != m.EnvelopeFrom || back.Rcpt != m.Rcpt ||
+		back.Size != m.Size || !back.Received.Equal(m.Received) {
+		t.Fatalf("round trip lost fields: %+v", back)
+	}
+}
+
+func TestMalformedRcptPreserved(t *testing.T) {
+	rec := Record{At: t0, MsgID: "m-bad", From: "a@b.example", Rcpt: "not an address"}
+	m := rec.ToMessage()
+	if m.Rcpt != (mail.Address{}) {
+		t.Fatalf("malformed rcpt = %v, want zero", m.Rcpt)
+	}
+}
+
+func TestReplayer(t *testing.T) {
+	data := writeTrace(t)
+	r, err := NewReader(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type got struct {
+		company, class string
+		id             string
+	}
+	var seen []got
+	rp := NewReplayer(r)
+	rp.Deliver = func(company string, m *mail.Message, class string) {
+		seen = append(seen, got{company, class, m.ID})
+	}
+	n, err := rp.Replay()
+	if err != nil || n != 3 {
+		t.Fatalf("Replay = %d, %v", n, err)
+	}
+	if seen[0].company != "corp-a" || seen[1].class != "null-sender" || seen[2].id != "m-3" {
+		t.Fatalf("replay order/content wrong: %+v", seen)
+	}
+}
+
+func TestReplayerNilDeliver(t *testing.T) {
+	r, _ := NewReader(strings.NewReader(writeTrace(t)))
+	if _, err := NewReplayer(r).Replay(); err == nil {
+		t.Fatal("nil Deliver accepted")
+	}
+}
+
+func TestReaderRejectsBadHeader(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage header accepted")
+	}
+	if _, err := NewReader(strings.NewReader(`{"version": 99}` + "\n")); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+func TestReaderPartialRecord(t *testing.T) {
+	data := writeTrace(t) + "{broken json\n"
+	r, err := NewReader(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for {
+		_, err := r.Next()
+		if err == io.EOF {
+			t.Fatal("broken record reached EOF silently")
+		}
+		if err != nil {
+			break // the broken record errors out — correct
+		}
+		count++
+	}
+	if count != 3 {
+		t.Fatalf("valid records before error = %d", count)
+	}
+}

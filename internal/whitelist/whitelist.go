@@ -1,0 +1,344 @@
+// Package whitelist implements the per-user sender white- and blacklists
+// that are the foundation of the challenge-response approach.
+//
+// The paper's product supports four ways an address enters a whitelist
+// (§2 "Whitelisting process"): the sender solves a challenge, the user
+// authorizes the sender from the daily digest, the user adds the address
+// manually, or the user previously sent mail to that address. Each entry
+// records its source and timestamp so the §4.3 change-rate analysis
+// (Figure 9: distribution of new entries per 60 days) can be reproduced
+// directly from the store.
+package whitelist
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/mail"
+)
+
+// Source identifies how an entry was added to a list.
+type Source int
+
+// Whitelist entry sources (§2 of the paper).
+const (
+	// SourceChallenge: the sender solved the CAPTCHA challenge.
+	SourceChallenge Source = iota
+	// SourceDigest: the user authorized the sender from the daily digest.
+	SourceDigest
+	// SourceManual: the user imported the address by hand.
+	SourceManual
+	// SourceOutbound: the user sent a message to the address, which
+	// implicitly whitelists it.
+	SourceOutbound
+	// SourceSeed: pre-existing entry from before the monitoring window
+	// (the user's historical contact list).
+	SourceSeed
+)
+
+// String returns a short label for the source.
+func (s Source) String() string {
+	switch s {
+	case SourceChallenge:
+		return "challenge"
+	case SourceDigest:
+		return "digest"
+	case SourceManual:
+		return "manual"
+	case SourceOutbound:
+		return "outbound"
+	case SourceSeed:
+		return "seed"
+	default:
+		return "unknown"
+	}
+}
+
+// Entry is one sender address on a user's list.
+type Entry struct {
+	Addr   mail.Address
+	Source Source
+	Added  time.Time
+}
+
+// List is one user's whitelist (or blacklist). Not safe for concurrent
+// use on its own; Store serialises access.
+type List struct {
+	entries map[string]Entry // by Address.Key()
+	log     []Entry          // append-only change log (additions only)
+}
+
+func newList() *List {
+	return &List{entries: make(map[string]Entry)}
+}
+
+// Store holds the white- and blacklists of every user of one company's
+// installation. It is safe for concurrent use.
+type Store struct {
+	clk clock.Clock
+
+	mu    sync.RWMutex
+	white map[string]*List // by user address key
+	black map[string]*List
+}
+
+// NewStore returns an empty store using clk for entry timestamps.
+func NewStore(clk clock.Clock) *Store {
+	return &Store{
+		clk:   clk,
+		white: make(map[string]*List),
+		black: make(map[string]*List),
+	}
+}
+
+func (s *Store) list(m map[string]*List, user mail.Address) *List {
+	l := m[user.Key()]
+	if l == nil {
+		l = newList()
+		m[user.Key()] = l
+	}
+	return l
+}
+
+// AddWhite adds sender to user's whitelist with the given source. Adding
+// an address that is already present is a no-op (the first source wins),
+// matching the product's behaviour and keeping the change log an honest
+// record of *new* entries for the Figure 9 churn statistics. It returns
+// true if the entry was new.
+func (s *Store) AddWhite(user, sender mail.Address, src Source) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := s.list(s.white, user)
+	if _, ok := l.entries[sender.Key()]; ok {
+		return false
+	}
+	e := Entry{Addr: sender, Source: src, Added: s.clk.Now()}
+	l.entries[sender.Key()] = e
+	l.log = append(l.log, e)
+	return true
+}
+
+// AddBlack adds sender to user's blacklist. Returns true if new.
+func (s *Store) AddBlack(user, sender mail.Address) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := s.list(s.black, user)
+	if _, ok := l.entries[sender.Key()]; ok {
+		return false
+	}
+	e := Entry{Addr: sender, Source: SourceManual, Added: s.clk.Now()}
+	l.entries[sender.Key()] = e
+	l.log = append(l.log, e)
+	return true
+}
+
+// RemoveWhite deletes sender from user's whitelist. Removals are not
+// logged (the paper counts only new entries). Returns true if present.
+func (s *Store) RemoveWhite(user, sender mail.Address) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := s.white[user.Key()]
+	if l == nil {
+		return false
+	}
+	if _, ok := l.entries[sender.Key()]; !ok {
+		return false
+	}
+	delete(l.entries, sender.Key())
+	return true
+}
+
+// IsWhite reports whether sender is on user's whitelist.
+func (s *Store) IsWhite(user, sender mail.Address) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	l := s.white[user.Key()]
+	if l == nil {
+		return false
+	}
+	_, ok := l.entries[sender.Key()]
+	return ok
+}
+
+// IsBlack reports whether sender is on user's blacklist.
+func (s *Store) IsBlack(user, sender mail.Address) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	l := s.black[user.Key()]
+	if l == nil {
+		return false
+	}
+	_, ok := l.entries[sender.Key()]
+	return ok
+}
+
+// WhiteSize returns the number of entries on user's whitelist.
+func (s *Store) WhiteSize(user mail.Address) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	l := s.white[user.Key()]
+	if l == nil {
+		return 0
+	}
+	return len(l.entries)
+}
+
+// AdditionsBetween returns the number of whitelist entries user gained in
+// [from, to), optionally restricted to the given sources (none = all).
+// SourceSeed entries are excluded unless explicitly requested: the paper
+// measures churn "excluding new users".
+func (s *Store) AdditionsBetween(user mail.Address, from, to time.Time, sources ...Source) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	l := s.white[user.Key()]
+	if l == nil {
+		return 0
+	}
+	want := func(src Source) bool {
+		if len(sources) == 0 {
+			return src != SourceSeed
+		}
+		for _, w := range sources {
+			if w == src {
+				return true
+			}
+		}
+		return false
+	}
+	n := 0
+	for _, e := range l.log {
+		if !e.Added.Before(from) && e.Added.Before(to) && want(e.Source) {
+			n++
+		}
+	}
+	return n
+}
+
+// ModifiedUsers returns, sorted, the users whose whitelists gained at
+// least one non-seed entry in [from, to).
+func (s *Store) ModifiedUsers(from, to time.Time) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for key, l := range s.white {
+		for _, e := range l.log {
+			if e.Source != SourceSeed && !e.Added.Before(from) && e.Added.Before(to) {
+				out = append(out, key)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Users returns all user keys with a whitelist, sorted.
+func (s *Store) Users() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.white))
+	for key := range s.white {
+		out = append(out, key)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ExportedList is the serialisable form of one user's lists, used by the
+// persistence layer (internal/store).
+type ExportedList struct {
+	User  string  `json:"user"`
+	White []Entry `json:"white,omitempty"`
+	Black []Entry `json:"black,omitempty"`
+}
+
+// Export returns every user's lists in a stable order (users sorted,
+// entries sorted by addition time then address), suitable for snapshots.
+func (s *Store) Export() []ExportedList {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	users := make(map[string]bool)
+	for u := range s.white {
+		users[u] = true
+	}
+	for u := range s.black {
+		users[u] = true
+	}
+	keys := make([]string, 0, len(users))
+	for u := range users {
+		keys = append(keys, u)
+	}
+	sort.Strings(keys)
+
+	dump := func(l *List) []Entry {
+		if l == nil {
+			return nil
+		}
+		out := make([]Entry, 0, len(l.entries))
+		for _, e := range l.entries {
+			out = append(out, e)
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if !out[i].Added.Equal(out[j].Added) {
+				return out[i].Added.Before(out[j].Added)
+			}
+			return out[i].Addr.Key() < out[j].Addr.Key()
+		})
+		return out
+	}
+	out := make([]ExportedList, 0, len(keys))
+	for _, u := range keys {
+		out = append(out, ExportedList{
+			User:  u,
+			White: dump(s.white[u]),
+			Black: dump(s.black[u]),
+		})
+	}
+	return out
+}
+
+// Import merges exported lists into the store, preserving the original
+// sources and timestamps. Existing entries win (Import never overwrites).
+func (s *Store) Import(lists []ExportedList) error {
+	for _, l := range lists {
+		user, err := mail.ParseAddress(l.User)
+		if err != nil {
+			return fmt.Errorf("whitelist: bad user %q: %v", l.User, err)
+		}
+		s.mu.Lock()
+		wl := s.list(s.white, user)
+		for _, e := range l.White {
+			if _, ok := wl.entries[e.Addr.Key()]; ok {
+				continue
+			}
+			wl.entries[e.Addr.Key()] = e
+			wl.log = append(wl.log, e)
+		}
+		bl := s.list(s.black, user)
+		for _, e := range l.Black {
+			if _, ok := bl.entries[e.Addr.Key()]; ok {
+				continue
+			}
+			bl.entries[e.Addr.Key()] = e
+			bl.log = append(bl.log, e)
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// CountBySource tallies all whitelist additions (across users) per source.
+func (s *Store) CountBySource() map[Source]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[Source]int)
+	for _, l := range s.white {
+		for _, e := range l.log {
+			out[e.Source]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,315 @@
+package whitelist
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/mail"
+)
+
+var (
+	t0  = time.Date(2010, 7, 1, 0, 0, 0, 0, time.UTC)
+	bob = mail.MustParseAddress("bob@corp.example")
+	ali = mail.MustParseAddress("alice@example.com")
+)
+
+func TestAddWhiteAndLookup(t *testing.T) {
+	s := NewStore(clock.NewSim(t0))
+	if s.IsWhite(bob, ali) {
+		t.Fatal("empty store claims whitelisted")
+	}
+	if !s.AddWhite(bob, ali, SourceChallenge) {
+		t.Fatal("first add returned false")
+	}
+	if !s.IsWhite(bob, ali) {
+		t.Fatal("added sender not whitelisted")
+	}
+	// Other user's list is unaffected.
+	carol := mail.MustParseAddress("carol@corp.example")
+	if s.IsWhite(carol, ali) {
+		t.Fatal("whitelist leaked across users")
+	}
+}
+
+func TestAddWhiteIdempotent(t *testing.T) {
+	s := NewStore(clock.NewSim(t0))
+	s.AddWhite(bob, ali, SourceChallenge)
+	if s.AddWhite(bob, ali, SourceDigest) {
+		t.Fatal("duplicate add returned true")
+	}
+	if s.WhiteSize(bob) != 1 {
+		t.Fatalf("WhiteSize = %d, want 1", s.WhiteSize(bob))
+	}
+	// Change log must contain exactly one entry.
+	if n := s.AdditionsBetween(bob, t0, t0.Add(time.Hour)); n != 1 {
+		t.Fatalf("log additions = %d, want 1", n)
+	}
+}
+
+func TestCaseInsensitiveMatch(t *testing.T) {
+	s := NewStore(clock.NewSim(t0))
+	s.AddWhite(bob, mail.MustParseAddress("Alice@Example.COM"), SourceManual)
+	if !s.IsWhite(bob, ali) {
+		t.Fatal("whitelist match must be case-insensitive")
+	}
+}
+
+func TestBlacklist(t *testing.T) {
+	s := NewStore(clock.NewSim(t0))
+	spammer := mail.MustParseAddress("junk@spam.example")
+	if !s.AddBlack(bob, spammer) {
+		t.Fatal("AddBlack returned false")
+	}
+	if !s.IsBlack(bob, spammer) {
+		t.Fatal("blacklisted sender not found")
+	}
+	if s.IsBlack(bob, ali) {
+		t.Fatal("innocent sender blacklisted")
+	}
+	if s.AddBlack(bob, spammer) {
+		t.Fatal("duplicate AddBlack returned true")
+	}
+}
+
+func TestRemoveWhite(t *testing.T) {
+	s := NewStore(clock.NewSim(t0))
+	s.AddWhite(bob, ali, SourceManual)
+	if !s.RemoveWhite(bob, ali) {
+		t.Fatal("RemoveWhite returned false for present entry")
+	}
+	if s.IsWhite(bob, ali) {
+		t.Fatal("entry survives removal")
+	}
+	if s.RemoveWhite(bob, ali) {
+		t.Fatal("RemoveWhite returned true for absent entry")
+	}
+	if s.RemoveWhite(mail.MustParseAddress("ghost@corp.example"), ali) {
+		t.Fatal("RemoveWhite returned true for unknown user")
+	}
+}
+
+func TestAdditionsBetweenWindowAndSources(t *testing.T) {
+	clk := clock.NewSim(t0)
+	s := NewStore(clk)
+	s.AddWhite(bob, mail.MustParseAddress("seed@old.example"), SourceSeed)
+	s.AddWhite(bob, mail.MustParseAddress("a1@x.example"), SourceChallenge)
+	clk.Advance(24 * time.Hour)
+	s.AddWhite(bob, mail.MustParseAddress("a2@x.example"), SourceDigest)
+	clk.Advance(24 * time.Hour)
+	s.AddWhite(bob, mail.MustParseAddress("a3@x.example"), SourceOutbound)
+
+	// Seed entries are excluded by default.
+	if n := s.AdditionsBetween(bob, t0, t0.Add(72*time.Hour)); n != 3 {
+		t.Fatalf("all additions = %d, want 3", n)
+	}
+	// Window slicing: only the day-1 entry.
+	if n := s.AdditionsBetween(bob, t0.Add(12*time.Hour), t0.Add(36*time.Hour)); n != 1 {
+		t.Fatalf("windowed = %d, want 1", n)
+	}
+	// Source filter.
+	if n := s.AdditionsBetween(bob, t0, t0.Add(72*time.Hour), SourceDigest); n != 1 {
+		t.Fatalf("digest-only = %d, want 1", n)
+	}
+	if n := s.AdditionsBetween(bob, t0, t0.Add(72*time.Hour), SourceSeed); n != 1 {
+		t.Fatalf("explicit seed = %d, want 1", n)
+	}
+	// Unknown user.
+	if n := s.AdditionsBetween(mail.MustParseAddress("no@corp.example"), t0, t0.Add(time.Hour)); n != 0 {
+		t.Fatalf("unknown user additions = %d", n)
+	}
+}
+
+func TestModifiedUsers(t *testing.T) {
+	clk := clock.NewSim(t0)
+	s := NewStore(clk)
+	u1 := mail.MustParseAddress("u1@corp.example")
+	u2 := mail.MustParseAddress("u2@corp.example")
+	u3 := mail.MustParseAddress("u3@corp.example")
+	s.AddWhite(u1, ali, SourceChallenge)
+	s.AddWhite(u2, ali, SourceSeed) // seed does not count as modification
+	s.AddWhite(u3, ali, SourceManual)
+	got := s.ModifiedUsers(t0, t0.Add(time.Hour))
+	if len(got) != 2 || got[0] != u1.Key() || got[1] != u3.Key() {
+		t.Fatalf("ModifiedUsers = %v", got)
+	}
+}
+
+func TestUsersSorted(t *testing.T) {
+	s := NewStore(clock.NewSim(t0))
+	s.AddWhite(mail.MustParseAddress("zeta@corp.example"), ali, SourceSeed)
+	s.AddWhite(mail.MustParseAddress("alpha@corp.example"), ali, SourceSeed)
+	u := s.Users()
+	if len(u) != 2 || u[0] != "alpha@corp.example" {
+		t.Fatalf("Users = %v", u)
+	}
+}
+
+func TestCountBySource(t *testing.T) {
+	s := NewStore(clock.NewSim(t0))
+	s.AddWhite(bob, mail.MustParseAddress("a@x.example"), SourceChallenge)
+	s.AddWhite(bob, mail.MustParseAddress("b@x.example"), SourceChallenge)
+	s.AddWhite(bob, mail.MustParseAddress("c@x.example"), SourceDigest)
+	got := s.CountBySource()
+	if got[SourceChallenge] != 2 || got[SourceDigest] != 1 {
+		t.Fatalf("CountBySource = %v", got)
+	}
+}
+
+func TestSourceString(t *testing.T) {
+	for src, want := range map[Source]string{
+		SourceChallenge: "challenge", SourceDigest: "digest",
+		SourceManual: "manual", SourceOutbound: "outbound", SourceSeed: "seed",
+		Source(42): "unknown",
+	} {
+		if src.String() != want {
+			t.Errorf("Source(%d).String() = %q, want %q", int(src), src.String(), want)
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := NewStore(clock.NewSim(t0))
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			sender := mail.MustParseAddress(fmt.Sprintf("s%d@x.example", i))
+			s.AddWhite(bob, sender, SourceChallenge)
+		}(i)
+		go func(i int) {
+			defer wg.Done()
+			s.IsWhite(bob, ali)
+		}(i)
+	}
+	wg.Wait()
+	if s.WhiteSize(bob) != 64 {
+		t.Fatalf("WhiteSize = %d, want 64", s.WhiteSize(bob))
+	}
+}
+
+// Property: after adding any set of distinct senders, each is whitelisted
+// and WhiteSize equals the number of distinct keys.
+func TestAddAllFoundProperty(t *testing.T) {
+	f := func(locals []uint16) bool {
+		s := NewStore(clock.NewSim(t0))
+		distinct := make(map[string]bool)
+		for _, l := range locals {
+			a := mail.Address{Local: fmt.Sprintf("u%d", l), Domain: "p.example"}
+			s.AddWhite(bob, a, SourceManual)
+			distinct[a.Key()] = true
+			if !s.IsWhite(bob, a) {
+				return false
+			}
+		}
+		return s.WhiteSize(bob) == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkIsWhite(b *testing.B) {
+	s := NewStore(clock.NewSim(t0))
+	for i := 0; i < 500; i++ {
+		s.AddWhite(bob, mail.MustParseAddress(fmt.Sprintf("s%d@x.example", i)), SourceSeed)
+	}
+	target := mail.MustParseAddress("s250@x.example")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.IsWhite(bob, target)
+	}
+}
+
+func BenchmarkAddWhite(b *testing.B) {
+	s := NewStore(clock.NewSim(t0))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.AddWhite(bob, mail.Address{Local: fmt.Sprintf("s%d", i), Domain: "x.example"}, SourceChallenge)
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	clk := clock.NewSim(t0)
+	src := NewStore(clk)
+	src.AddWhite(bob, mail.MustParseAddress("w1@x.example"), SourceChallenge)
+	clk.Advance(time.Hour)
+	src.AddWhite(bob, mail.MustParseAddress("w2@x.example"), SourceDigest)
+	src.AddBlack(bob, mail.MustParseAddress("b1@x.example"))
+	carol := mail.MustParseAddress("carol@corp.example")
+	src.AddWhite(carol, mail.MustParseAddress("w3@x.example"), SourceOutbound)
+
+	exported := src.Export()
+	if len(exported) != 2 {
+		t.Fatalf("exported users = %d, want 2", len(exported))
+	}
+	// Users sorted; bob first.
+	if exported[0].User != bob.Key() {
+		t.Fatalf("export order = %v", exported[0].User)
+	}
+	// Entries sorted by addition time.
+	if len(exported[0].White) != 2 || exported[0].White[0].Addr.Local != "w1" {
+		t.Fatalf("bob white export = %+v", exported[0].White)
+	}
+	if len(exported[0].Black) != 1 {
+		t.Fatalf("bob black export = %+v", exported[0].Black)
+	}
+
+	dst := NewStore(clk)
+	if err := dst.Import(exported); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.IsWhite(bob, mail.MustParseAddress("w2@x.example")) ||
+		!dst.IsBlack(bob, mail.MustParseAddress("b1@x.example")) ||
+		!dst.IsWhite(carol, mail.MustParseAddress("w3@x.example")) {
+		t.Fatal("import lost entries")
+	}
+	// Timestamps/sources survive: windowed queries behave identically.
+	n := dst.AdditionsBetween(bob, t0, t0.Add(30*time.Minute), SourceChallenge)
+	if n != 1 {
+		t.Fatalf("restored windowed additions = %d, want 1", n)
+	}
+}
+
+func TestImportIdempotent(t *testing.T) {
+	clk := clock.NewSim(t0)
+	src := NewStore(clk)
+	src.AddWhite(bob, ali, SourceManual)
+	exported := src.Export()
+
+	dst := NewStore(clk)
+	if err := dst.Import(exported); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Import(exported); err != nil {
+		t.Fatal(err)
+	}
+	if dst.WhiteSize(bob) != 1 {
+		t.Fatalf("double import duplicated entries: %d", dst.WhiteSize(bob))
+	}
+	// The change log also stays single (Figure 9 stats unaffected).
+	if n := dst.AdditionsBetween(bob, t0, t0.Add(time.Hour)); n != 1 {
+		t.Fatalf("log additions after double import = %d", n)
+	}
+}
+
+func TestImportRejectsBadUser(t *testing.T) {
+	clk := clock.NewSim(t0)
+	dst := NewStore(clk)
+	err := dst.Import([]ExportedList{{User: "not an address"}})
+	if err == nil {
+		t.Fatal("bad user accepted")
+	}
+}
+
+func TestExportEmptyStore(t *testing.T) {
+	s := NewStore(clock.NewSim(t0))
+	if got := s.Export(); len(got) != 0 {
+		t.Fatalf("empty export = %v", got)
+	}
+}

@@ -1,0 +1,178 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mail"
+)
+
+// concentratedConfig returns a tiny fleet whose mix is 100% one class,
+// so each generator path can be verified in isolation.
+func concentratedConfig(seed int64, set func(*Mix)) Config {
+	cfg := smallConfig(seed)
+	for i := range cfg.Profiles {
+		m := Mix{}
+		set(&m)
+		cfg.Profiles[i].Mix = m
+	}
+	return cfg
+}
+
+// runConcentrated builds, runs one day, and returns the first company's
+// engine metrics plus the fleet.
+func runConcentrated(t *testing.T, seed int64, set func(*Mix)) (core.Metrics, *Fleet) {
+	t.Helper()
+	mail.ResetIDCounter()
+	f := NewFleet(concentratedConfig(seed, set))
+	f.Run(1)
+	return f.Companies[0].Engine.Metrics(), f
+}
+
+func TestClassMalformedAllDropped(t *testing.T) {
+	m, _ := runConcentrated(t, 101, func(mix *Mix) { mix.Malformed = 1 })
+	if m.MTADropped[core.Malformed] != m.MTAIncoming {
+		t.Fatalf("malformed drops %d of %d", m.MTADropped[core.Malformed], m.MTAIncoming)
+	}
+}
+
+func TestClassUnresolvableAllDropped(t *testing.T) {
+	m, _ := runConcentrated(t, 102, func(mix *Mix) { mix.UnresolvableSender = 1 })
+	if m.MTADropped[core.Unresolvable] != m.MTAIncoming {
+		t.Fatalf("unresolvable drops %d of %d", m.MTADropped[core.Unresolvable], m.MTAIncoming)
+	}
+}
+
+func TestClassUnknownRecipientAllDropped(t *testing.T) {
+	m, _ := runConcentrated(t, 103, func(mix *Mix) { mix.UnknownRecipient = 1 })
+	if m.MTADropped[core.UnknownRecipient] != m.MTAIncoming {
+		t.Fatalf("unknown-rcpt drops %d of %d", m.MTADropped[core.UnknownRecipient], m.MTAIncoming)
+	}
+}
+
+func TestClassRejectedSenderAllDropped(t *testing.T) {
+	m, _ := runConcentrated(t, 104, func(mix *Mix) { mix.RejectedSender = 1 })
+	if m.MTADropped[core.SenderRejected] != m.MTAIncoming {
+		t.Fatalf("rejected-sender drops %d of %d", m.MTADropped[core.SenderRejected], m.MTAIncoming)
+	}
+}
+
+func TestClassWhiteAllDeliveredInstantly(t *testing.T) {
+	m, _ := runConcentrated(t, 105, func(mix *Mix) { mix.WhiteKnown = 1 })
+	if m.SpoolWhite != m.MTAIncoming {
+		t.Fatalf("white %d of %d", m.SpoolWhite, m.MTAIncoming)
+	}
+	if m.Delivered[core.ViaWhitelist] != m.MTAIncoming {
+		t.Fatalf("instant deliveries %d of %d", m.Delivered[core.ViaWhitelist], m.MTAIncoming)
+	}
+	if m.ChallengesSent != 0 {
+		t.Fatal("whitelisted traffic was challenged")
+	}
+}
+
+func TestClassBlackAllDropped(t *testing.T) {
+	m, _ := runConcentrated(t, 106, func(mix *Mix) { mix.BlackKnown = 1 })
+	if m.SpoolBlack != m.MTAIncoming {
+		t.Fatalf("black %d of %d", m.SpoolBlack, m.MTAIncoming)
+	}
+}
+
+func TestClassNullSenderQuarantinedNeverChallenged(t *testing.T) {
+	m, _ := runConcentrated(t, 107, func(mix *Mix) { mix.NullSender = 1 })
+	if m.ChallengesSent != 0 {
+		t.Fatalf("bounces were challenged: %d", m.ChallengesSent)
+	}
+	if m.QuarantineOnly == 0 {
+		t.Fatal("no null-sender quarantine")
+	}
+}
+
+func TestClassRelayAttemptClosedAllRefused(t *testing.T) {
+	mail.ResetIDCounter()
+	cfg := concentratedConfig(108, func(mix *Mix) { mix.RelayAttempt = 1 })
+	// Force every company closed.
+	for i := range cfg.Profiles {
+		cfg.Profiles[i].OpenRelay = false
+	}
+	f := NewFleet(cfg)
+	f.Run(1)
+	m := f.Companies[0].Engine.Metrics()
+	if m.MTADropped[core.NoRelay] != m.MTAIncoming {
+		t.Fatalf("no-relay drops %d of %d", m.MTADropped[core.NoRelay], m.MTAIncoming)
+	}
+}
+
+func TestClassRelayAttemptOpenRelayAccepted(t *testing.T) {
+	mail.ResetIDCounter()
+	cfg := concentratedConfig(109, func(mix *Mix) { mix.RelayAttempt = 1 })
+	for i := range cfg.Profiles {
+		cfg.Profiles[i].OpenRelay = true
+	}
+	f := NewFleet(cfg)
+	f.Run(1)
+	m := f.Companies[0].Engine.Metrics()
+	if m.TotalMTADropped() != 0 {
+		t.Fatalf("open relay dropped %d relayed messages", m.TotalMTADropped())
+	}
+	if m.SpoolGray != m.MTAIncoming {
+		t.Fatalf("relayed mail not gray: %d of %d", m.SpoolGray, m.MTAIncoming)
+	}
+}
+
+func TestClassSpamFlowsThroughFilters(t *testing.T) {
+	m, f := runConcentrated(t, 110, func(mix *Mix) {})
+	// Empty mix = 100% residual spam.
+	if m.SpoolGray != m.MTAIncoming {
+		t.Fatalf("spam gray %d of %d", m.SpoolGray, m.MTAIncoming)
+	}
+	// Filters drop a majority of botnet spam; the rest is challenged or
+	// dedup-held.
+	if m.TotalFilterDropped() == 0 || m.ChallengesSent == 0 {
+		t.Fatalf("spam pipeline inert: %+v", m)
+	}
+	if m.TotalFilterDropped()+m.ChallengesSent+m.ChallengeSuppressed != m.SpoolGray {
+		t.Fatalf("gray accounting broken: %+v", m)
+	}
+	_ = f
+}
+
+func TestClassNewsletterChallenged(t *testing.T) {
+	m, f := runConcentrated(t, 111, func(mix *Mix) { mix.Newsletter = 1 })
+	// Newsletters start gray; once an operator solves a challenge the
+	// sender is whitelisted, so later issues of the same newsletter are
+	// white. Gray + white must cover everything.
+	if m.SpoolGray+m.SpoolWhite != m.MTAIncoming {
+		t.Fatalf("newsletters gray=%d white=%d of %d", m.SpoolGray, m.SpoolWhite, m.MTAIncoming)
+	}
+	// Newsletter senders have clean infrastructure: no filter drops;
+	// challenges deduplicate per (user, sender).
+	if m.TotalFilterDropped() != 0 {
+		t.Fatalf("newsletters filter-dropped: %+v", m.FilterDropped)
+	}
+	if m.ChallengesSent == 0 {
+		t.Fatal("no newsletter challenges")
+	}
+	// Challenges go to the small operator pool: far fewer than messages.
+	if m.ChallengesSent+m.ChallengeSuppressed != m.SpoolGray {
+		t.Fatalf("newsletter accounting: %+v", m)
+	}
+	_ = f
+}
+
+func TestClassLegitNewMostlySolved(t *testing.T) {
+	mail.ResetIDCounter()
+	f := NewFleet(concentratedConfig(112, func(mix *Mix) { mix.LegitNew = 1 }))
+	f.Run(2) // give solves a day to land
+	m := f.Companies[0].Engine.Metrics()
+	if m.ChallengesSent == 0 {
+		t.Fatal("no challenges for first-contact mail")
+	}
+	// Real correspondents solve most challenges.
+	if m.Delivered[core.ViaChallenge] == 0 {
+		t.Fatal("no challenge-solved deliveries")
+	}
+	solveRate := float64(m.Delivered[core.ViaChallenge]) / float64(m.ChallengesSent)
+	if solveRate < 0.3 {
+		t.Fatalf("legit solve-driven delivery rate = %v, want high", solveRate)
+	}
+}

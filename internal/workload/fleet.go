@@ -1,0 +1,618 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/digest"
+	"repro/internal/dnssim"
+	"repro/internal/filters"
+	"repro/internal/greylist"
+	"repro/internal/mail"
+	"repro/internal/maillog"
+	"repro/internal/rbl"
+	"repro/internal/simnet"
+	"repro/internal/spf"
+	"repro/internal/trace"
+	"repro/internal/whitelist"
+)
+
+// Config parameterises the synthetic world.
+type Config struct {
+	// Seed drives all randomness; equal seeds give identical runs.
+	Seed int64
+	// Profiles are the companies to instantiate.
+	Profiles []CompanyProfile
+	// ScaleVolume multiplies every company's DailyVolume (use <1 for
+	// fast experiment runs; the proportions are volume-invariant).
+	ScaleVolume float64
+
+	// World population.
+	LegitDomains        int // partner domains hosting real correspondents
+	LegitPerDomain      int
+	InnocentDomains     int // bystander domains spam spoofs
+	InnocentPerDomain   int
+	RobotPerDomain      int
+	UnreachableDomains  int     // domains whose mail servers never answer
+	UnresolvableDomains int     // spoofed domains without DNS at all
+	TrapCount           int     // spamtrap addresses scattered on innocent domains
+	ConsultRBLFraction  float64 // fraction of remote domains screening by RBL
+
+	// SPF publication rates (2010-era adoption was partial, which is why
+	// the paper's Figure 12 what-if removes only a slice of challenges).
+	LegitSPFRate    float64
+	InnocentSPFRate float64
+
+	// Campaigns.
+	NewsletterCampaigns int
+	SpamCampaigns       int
+	SpamVirusProb       float64
+	SpoofMix            SpoofMix
+
+	// Botnet (spam delivery infrastructure).
+	BotnetSize   int
+	BotnetNoPTR  float64 // fraction without reverse DNS
+	BotnetListed float64 // fraction (of PTR-having) statically on the filter RBL
+
+	// UseSPFFilter adds the §5.2 SPF check to every engine's filter
+	// chain (the studied product did NOT have it; the paper evaluated it
+	// offline — this flag turns on the online configuration for the
+	// ablation).
+	UseSPFFilter bool
+	// ChallengeCapPerHour, when >0, applies the per-engine hourly
+	// challenge rate cap (the §6 attack mitigation).
+	ChallengeCapPerHour int
+	// UseGreylisting puts an SMTP greylist in front of every engine:
+	// first-contact tuples are temp-rejected; real MTAs retry (the
+	// message arrives ~delay later), botnet cannons mostly do not. An
+	// ablation for the §5.2 "which other techniques" question.
+	UseGreylisting bool
+	// SpamRetryProb is the probability a botnet delivery retries after a
+	// greylist 451 (fire-and-forget cannons rarely do).
+	SpamRetryProb float64
+
+	// User behaviour.
+	DigestAuthorizeProb float64 // authorize a wanted pending message
+	DigestDeleteProb    float64 // delete an unwanted pending message
+
+	// Measurement.
+	CheckerPeriod time.Duration // §5.1 blacklist polling period
+	// LogSink, when non-nil, receives every engine's decision events
+	// (the maillog stream the paper's measurement pipeline parsed).
+	// Called from the simulation goroutine; must be fast.
+	LogSink func(maillog.Event)
+	// TraceSink, when non-nil, receives every generated message as a
+	// trace.Record so workloads can be frozen to disk and replayed
+	// against differently-configured engines (internal/trace).
+	TraceSink func(trace.Record)
+}
+
+// DefaultConfig returns a Config with n companies and the stock world,
+// calibrated per DESIGN.md §4.
+func DefaultConfig(seed int64, n int) Config {
+	rng := rand.New(rand.NewSource(seed))
+	return Config{
+		Seed:                seed,
+		Profiles:            DefaultProfiles(n, rng),
+		ScaleVolume:         1,
+		LegitDomains:        14,
+		LegitPerDomain:      120,
+		InnocentDomains:     30,
+		InnocentPerDomain:   40,
+		RobotPerDomain:      4,
+		UnreachableDomains:  12,
+		UnresolvableDomains: 12,
+		TrapCount:           60,
+		ConsultRBLFraction:  0.5,
+		LegitSPFRate:        0.6,
+		InnocentSPFRate:     0.08,
+		NewsletterCampaigns: 8,
+		SpamCampaigns:       48,
+		SpamVirusProb:       0.02,
+		SpoofMix:            DefaultSpoofMix(),
+		BotnetSize:          400,
+		BotnetNoPTR:         0.30,
+		BotnetListed:        0.66,
+		DigestAuthorizeProb: 0.5,
+		DigestDeleteProb:    0.7,
+		SpamRetryProb:       0.06,
+		CheckerPeriod:       4 * time.Hour,
+	}
+}
+
+// botIP is one spam-sending host.
+type botIP struct {
+	ip     string
+	hasPTR bool
+	listed bool
+}
+
+// GrayEntry is the per-challenged-message context the offline SPF
+// experiment (Figure 12) joins against challenge records.
+type GrayEntry struct {
+	MsgID    string
+	From     mail.Address
+	ClientIP string
+	Subject  string
+}
+
+// Fleet is the fully-assembled world: simulated clock, DNS, blocklists,
+// remote servers, companies, campaigns and the day-loop driver.
+type Fleet struct {
+	Cfg       Config
+	Clk       *clock.Sim
+	Sched     *clock.Scheduler
+	DNS       *dnssim.Server
+	Providers []*rbl.Provider
+	Traps     *rbl.TrapRegistry
+	Net       *simnet.Network
+	Checker   *rbl.Checker
+	Digests   *digest.Book
+	Companies []*simnet.Company
+	Start     time.Time
+
+	rng        *rand.Rand
+	profiles   map[string]CompanyProfile
+	users      map[string][]mail.Address  // company -> protected users
+	seededWL   map[string][]mail.Address  // user key -> seeded contacts
+	seededBL   map[string][]mail.Address  // user key -> blacklisted senders
+	rejectedBy map[string]mail.Address    // company -> its rejected sender
+	activity   map[string]float64         // user key -> outbound-activity multiplier
+	greylists  map[string]*greylist.Store // company -> greylist (when enabled)
+
+	legitPool     []mail.Address
+	innocents     []mail.Address
+	robots        []mail.Address
+	trapAddrs     []mail.Address
+	unreachable   []string // domains
+	unresolvable  []string // domains
+	foreignDomain string
+	botnet        []botIP
+	spamCamps     []*Campaign
+	newsCamps     []*Campaign
+
+	mu          sync.Mutex
+	truth       map[string]Class
+	grayLog     map[string]GrayEntry
+	classCounts map[Class]int64
+	day         int
+}
+
+// FleetStart is the simulation epoch, matching the study's first
+// monitored day (July 2010).
+var FleetStart = time.Date(2010, 7, 1, 0, 0, 0, 0, time.UTC)
+
+// NewFleet builds the world. The heavy lifting — DNS zones, remote
+// servers, mailbox populations, whitelist seeding — happens here; no
+// traffic flows until Run.
+func NewFleet(cfg Config) *Fleet {
+	if cfg.ScaleVolume <= 0 {
+		cfg.ScaleVolume = 1
+	}
+	f := &Fleet{
+		Cfg:         cfg,
+		Clk:         clock.NewSim(FleetStart),
+		Start:       FleetStart,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		profiles:    make(map[string]CompanyProfile),
+		users:       make(map[string][]mail.Address),
+		seededWL:    make(map[string][]mail.Address),
+		seededBL:    make(map[string][]mail.Address),
+		rejectedBy:  make(map[string]mail.Address),
+		activity:    make(map[string]float64),
+		greylists:   make(map[string]*greylist.Store),
+		truth:       make(map[string]Class),
+		grayLog:     make(map[string]GrayEntry),
+		classCounts: make(map[Class]int64),
+	}
+	f.Sched = clock.NewScheduler(f.Clk)
+	f.DNS = dnssim.NewServer()
+	f.Providers = rbl.StandardProviders(f.Clk)
+	f.Traps = rbl.NewTrapRegistry(f.Providers...)
+	f.Net = simnet.New(f.Clk, f.Sched, f.DNS, f.Providers, f.Traps, simnet.Config{Seed: cfg.Seed + 1})
+	f.Checker = rbl.NewChecker(f.Providers...)
+	f.Digests = digest.NewBook()
+
+	f.buildWorld()
+	f.buildCampaigns()
+	f.buildCompanies()
+	return f
+}
+
+// filterProvider returns the blocklist the engines' RBL filter consults
+// (the study's product used SpamHaus).
+func (f *Fleet) filterProvider() *rbl.Provider {
+	for _, p := range f.Providers {
+		if p.Name() == "spamhaus" {
+			return p
+		}
+	}
+	return f.Providers[0]
+}
+
+// assignScreen gives a remote server a blocklist subscription with
+// probability ConsultRBLFraction, weighted toward the mainstream lists.
+func (f *Fleet) assignScreen(rs *simnet.RemoteServer) {
+	if f.rng.Float64() >= f.Cfg.ConsultRBLFraction {
+		return
+	}
+	// Mainstream lists are consulted far more often than niche ones.
+	weights := []int{3, 3, 6, 1, 1, 2, 4, 1} // parallel to StandardProviders order
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	u := f.rng.Intn(total)
+	for i, w := range weights {
+		if u < w {
+			rs.Screen = f.Providers[i]
+			return
+		}
+		u -= w
+	}
+}
+
+func (f *Fleet) buildWorld() {
+	cfg := f.Cfg
+
+	// Partner domains with real human correspondents.
+	for d := 0; d < cfg.LegitDomains; d++ {
+		domain := fmt.Sprintf("partner%02d.example", d)
+		ip := fmt.Sprintf("192.0.%d.%d", 2+d/200, 10+d%200)
+		rs := simnet.NewRemoteServer(domain, ip)
+		f.assignScreen(rs)
+		for m := 0; m < cfg.LegitPerDomain; m++ {
+			local := fmt.Sprintf("person%03d", m)
+			rs.AddMailbox(local, simnet.PersonaLegit)
+			f.legitPool = append(f.legitPool, mail.Address{Local: local, Domain: domain})
+		}
+		f.Net.AddRemote(rs)
+		if f.rng.Float64() < cfg.LegitSPFRate {
+			f.DNS.AddTXT(domain, fmt.Sprintf("v=spf1 ip4:%s -all", ip))
+		}
+	}
+
+	// Bystander domains: innocent mailboxes (spoof victims), robots, and
+	// scattered spamtraps.
+	for d := 0; d < cfg.InnocentDomains; d++ {
+		domain := fmt.Sprintf("bystander%02d.example", d)
+		ip := fmt.Sprintf("203.0.%d.%d", 113+d/200, 10+d%200)
+		rs := simnet.NewRemoteServer(domain, ip)
+		f.assignScreen(rs)
+		for m := 0; m < cfg.InnocentPerDomain; m++ {
+			local := fmt.Sprintf("user%03d", m)
+			rs.AddMailbox(local, simnet.PersonaInnocent)
+			f.innocents = append(f.innocents, mail.Address{Local: local, Domain: domain})
+		}
+		for m := 0; m < cfg.RobotPerDomain; m++ {
+			local := fmt.Sprintf("noreply%d", m)
+			rs.AddMailbox(local, simnet.PersonaRobot)
+			f.robots = append(f.robots, mail.Address{Local: local, Domain: domain})
+		}
+		f.Net.AddRemote(rs)
+		if f.rng.Float64() < cfg.InnocentSPFRate {
+			f.DNS.AddTXT(domain, fmt.Sprintf("v=spf1 ip4:%s -all", ip))
+		}
+	}
+
+	// Spamtraps live on the bystander domains (they must look ordinary).
+	for t := 0; t < cfg.TrapCount; t++ {
+		domain := fmt.Sprintf("bystander%02d.example", t%cfg.InnocentDomains)
+		addr := mail.Address{Local: fmt.Sprintf("trap%03d", t), Domain: domain}
+		f.Traps.AddTrap(addr)
+		f.trapAddrs = append(f.trapAddrs, addr)
+	}
+
+	// Domains whose mail servers never answer: challenges there expire.
+	for d := 0; d < cfg.UnreachableDomains; d++ {
+		domain := fmt.Sprintf("deadmx%02d.example", d)
+		rs := simnet.NewRemoteServer(domain, fmt.Sprintf("198.18.0.%d", 10+d))
+		rs.Unreachable = true
+		f.Net.AddRemote(rs)
+		f.unreachable = append(f.unreachable, domain)
+	}
+
+	// Spoofed domains with no DNS presence at all: mail claiming to come
+	// from them is dropped at the MTA-IN ("unable to resolve").
+	for d := 0; d < cfg.UnresolvableDomains; d++ {
+		f.unresolvable = append(f.unresolvable, fmt.Sprintf("ghost%02d.invalid", d))
+	}
+
+	// A reachable foreign domain for relay probes against closed relays.
+	f.foreignDomain = "elsewhere.example"
+	rs := simnet.NewRemoteServer(f.foreignDomain, "198.51.100.200")
+	rs.AddMailbox("info", simnet.PersonaRobot)
+	f.Net.AddRemote(rs)
+
+	// The botnet: spam-sending hosts with partial reverse DNS and
+	// partial static blocklist coverage.
+	spamhaus := f.filterProvider()
+	for b := 0; b < cfg.BotnetSize; b++ {
+		ip := fmt.Sprintf("100.%d.%d.%d", 64+b/65025, (b/255)%255, 1+b%255)
+		bot := botIP{ip: ip}
+		if f.rng.Float64() >= cfg.BotnetNoPTR {
+			bot.hasPTR = true
+			f.DNS.AddPTR(ip, fmt.Sprintf("dsl-%d.access.example", b))
+			if f.rng.Float64() < cfg.BotnetListed {
+				bot.listed = true
+				spamhaus.AddStatic(ip)
+			}
+		}
+		f.botnet = append(f.botnet, bot)
+	}
+}
+
+func (f *Fleet) buildCampaigns() {
+	cfg := f.Cfg
+	// Newsletter/marketing campaigns: few similar senders on their own
+	// domain, operator diligence spanning the paper's observed range.
+	for k := 0; k < cfg.NewsletterCampaigns; k++ {
+		domain := fmt.Sprintf("news%02d.example", k)
+		ip := fmt.Sprintf("198.51.%d.%d", 100+k/200, 10+k%200)
+		rs := simnet.NewRemoteServer(domain, ip)
+		// Operator diligence skews low (most marketing programs ignore
+		// challenges) with a tail reaching the paper's 97%-solved clusters.
+		u := f.rng.Float64()
+		diligence := 0.02 + 0.93*u*u*u
+		c := &Campaign{
+			ID:         k,
+			Subject:    makeSubject(f.rng, fmt.Sprintf("newsletter%02d", k)),
+			Newsletter: true,
+			Diligence:  diligence,
+			MsgSize:    9000 + f.rng.Intn(40000),
+			StartDay:   0,
+			EndDay:     1 << 30,
+			Weight:     0.3 + f.rng.Float64(),
+		}
+		nSenders := 2 + f.rng.Intn(3)
+		for s := 0; s < nSenders; s++ {
+			local := fmt.Sprintf("dept-x.%c", 'p'+s)
+			b := simnet.DefaultBehavior(simnet.PersonaNewsletter)
+			b.VisitProb = minF(1, diligence+0.05)
+			b.SolveProbGivenVisit = diligence / b.VisitProb
+			rs.AddMailboxBehavior(local, simnet.PersonaNewsletter, b)
+			c.Senders = append(c.Senders, mail.Address{Local: local, Domain: domain})
+		}
+		f.Net.AddRemote(rs)
+		f.DNS.AddTXT(domain, fmt.Sprintf("v=spf1 ip4:%s -all", ip))
+		f.newsCamps = append(f.newsCamps, c)
+	}
+
+	// Botnet spam campaigns: a quarter run continuously (there is always
+	// background spam), the rest are bursty windows. A minority use a
+	// poisoned (trap-containing) harvested list; the first two poisoned
+	// ones are continuous so every monitoring window observes the §5.1
+	// blacklisting channel.
+	for k := 0; k < cfg.SpamCampaigns; k++ {
+		start := f.rng.Intn(160)
+		end := start + 3 + f.rng.Intn(30)
+		if k < cfg.SpamCampaigns/4 {
+			start, end = 0, 1<<30 // background campaign
+		}
+		c := &Campaign{
+			ID:        1000 + k,
+			Subject:   makeSubject(f.rng, ""),
+			VirusProb: cfg.SpamVirusProb,
+			MsgSize:   3500 + f.rng.Intn(16000),
+			StartDay:  start,
+			EndDay:    end,
+			Weight:    0.2 + f.rng.Float64()*1.8,
+			targets:   make(map[string][]mail.Address),
+			covers:    make(map[string]bool),
+		}
+		if k < 2 || f.rng.Float64() < 0.10 {
+			c.TrapShare = 0.02 + f.rng.Float64()*0.03
+		}
+		poolSize := 10 + f.rng.Intn(16)
+		for s := 0; s < poolSize; s++ {
+			c.SpoofPool = append(c.SpoofPool, f.drawSpoof(c.TrapShare))
+		}
+		f.spamCamps = append(f.spamCamps, c)
+	}
+}
+
+// drawSpoof draws one spoofed sender address: a trap with probability
+// trapShare, otherwise per the configured spoof mix.
+func (f *Fleet) drawSpoof(trapShare float64) mail.Address {
+	if trapShare > 0 && f.rng.Float64() < trapShare {
+		return f.trapAddrs[f.rng.Intn(len(f.trapAddrs))]
+	}
+	mix := f.Cfg.SpoofMix
+	total := mix.NoUser + mix.Innocent + mix.Robot + mix.Unreachable
+	u := f.rng.Float64() * total
+	switch {
+	case u < mix.NoUser:
+		dom := f.innocents[f.rng.Intn(len(f.innocents))].Domain
+		return mail.Address{Local: fmt.Sprintf("fake%d", f.rng.Intn(1000000)), Domain: dom}
+	case u < mix.NoUser+mix.Innocent:
+		return f.innocents[f.rng.Intn(len(f.innocents))]
+	case u < mix.NoUser+mix.Innocent+mix.Robot:
+		return f.robots[f.rng.Intn(len(f.robots))]
+	default:
+		dom := f.unreachable[f.rng.Intn(len(f.unreachable))]
+		return mail.Address{Local: fmt.Sprintf("x%d", f.rng.Intn(100000)), Domain: dom}
+	}
+}
+
+// campaignTargets returns (memoised) the subset of a company's users a
+// campaign mails: spammers recycle harvested lists, so the same users
+// get hit repeatedly.
+func (f *Fleet) campaignTargets(c *Campaign, company string) []mail.Address {
+	if ts, ok := c.targets[company]; ok {
+		return ts
+	}
+	users := f.users[company]
+	n := len(users) * 2 / 5
+	if n < 5 {
+		n = 5
+	}
+	if n > len(users) {
+		n = len(users)
+	}
+	perm := f.rng.Perm(len(users))
+	ts := make([]mail.Address, n)
+	for i := 0; i < n; i++ {
+		ts[i] = users[perm[i]]
+	}
+	c.targets[company] = ts
+	return ts
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (f *Fleet) buildCompanies() {
+	for i, p := range f.Cfg.Profiles {
+		f.profiles[p.Name] = p
+		challengeIP := fmt.Sprintf("198.51.100.%d", 1+i*2)
+		mailIP := challengeIP
+		if p.SplitMTAOut {
+			mailIP = fmt.Sprintf("198.51.100.%d", 2+i*2)
+		}
+
+		chainFilters := []filters.Filter{
+			filters.NewAntivirus(),
+			filters.NewReverseDNS(f.DNS),
+			filters.NewRBL(f.filterProvider()),
+		}
+		if f.Cfg.UseSPFFilter {
+			chainFilters = append(chainFilters, filters.NewSPF(spf.New(f.DNS)))
+		}
+		chain := filters.NewChain(chainFilters...)
+		wl := whitelist.NewStore(f.Clk)
+		relayDomains := []string(nil)
+		if p.OpenRelay {
+			relayDomains = []string{"relay-" + p.Domain}
+		}
+		eng := core.New(core.Config{
+			Name:                 p.Name,
+			Domains:              []string{p.Domain},
+			OpenRelay:            p.OpenRelay,
+			RelayDomains:         relayDomains,
+			QuarantineTTL:        30 * day,
+			ChallengeFrom:        mail.Address{Local: "challenge", Domain: p.Domain},
+			ChallengeBaseURL:     "http://cr." + p.Domain,
+			ChallengeSize:        1800,
+			Seed:                 f.Cfg.Seed + int64(i)*7919,
+			MaxChallengesPerHour: f.Cfg.ChallengeCapPerHour,
+		}, f.Clk, f.DNS, chain, wl, nil)
+		if f.Cfg.LogSink != nil {
+			eng.SetEventSink(f.Cfg.LogSink)
+		}
+		if f.Cfg.UseGreylisting {
+			f.greylists[p.Name] = greylist.New(greylist.DefaultConfig(), f.Clk)
+		}
+		f.DNS.RegisterMailDomain(p.Domain, challengeIP)
+
+		// Protected accounts plus their seeded white/blacklists.
+		users := make([]mail.Address, p.Users)
+		for u := range users {
+			addr := mail.Address{Local: fmt.Sprintf("user%04d", u), Domain: p.Domain}
+			users[u] = addr
+			eng.AddUser(addr)
+			// Outbound activity is heavily skewed across users (most
+			// people send little mail; a few send a lot), which is what
+			// produces the paper's Figure 9 churn distribution: a
+			// dominant low-churn mode with a long tail.
+			au := f.rng.Float64()
+			f.activity[addr.Key()] = au * au * 3
+			nSeed := f.Cfg.Profiles[i].SeedWhitelist
+			seeds := make([]mail.Address, 0, nSeed)
+			for s := 0; s < nSeed; s++ {
+				contact := f.legitPool[f.rng.Intn(len(f.legitPool))]
+				if wl.AddWhite(addr, contact, whitelist.SourceSeed) {
+					seeds = append(seeds, contact)
+				}
+			}
+			f.seededWL[addr.Key()] = seeds
+			bl := make([]mail.Address, 0, 2)
+			for s := 0; s < 2; s++ {
+				bad := f.innocents[f.rng.Intn(len(f.innocents))]
+				if wl.AddBlack(addr, bad) {
+					bl = append(bl, bad)
+				}
+			}
+			f.seededBL[addr.Key()] = bl
+		}
+		f.users[p.Name] = users
+
+		// One administratively rejected sender per company.
+		banned := mail.Address{Local: "banned-" + p.Name, Domain: f.innocents[0].Domain}
+		eng.RejectSender(banned)
+		f.rejectedBy[p.Name] = banned
+
+		comp := &simnet.Company{
+			Name:        p.Name,
+			Engine:      eng,
+			ChallengeIP: challengeIP,
+			MailIP:      mailIP,
+		}
+		f.Net.AttachCompany(comp)
+		f.Companies = append(f.Companies, comp)
+	}
+}
+
+// Day returns the current simulation day index (0-based).
+func (f *Fleet) Day() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.day
+}
+
+// Truth returns the ground-truth class of a generated message.
+func (f *Fleet) Truth(msgID string) (Class, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.truth[msgID]
+	return c, ok
+}
+
+// ClassCounts returns how many messages of each class were generated.
+func (f *Fleet) ClassCounts() map[Class]int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[Class]int64, len(f.classCounts))
+	for k, v := range f.classCounts {
+		out[k] = v
+	}
+	return out
+}
+
+// GrayLog returns the per-message context captured for messages that
+// entered the gray spool, keyed by message ID.
+func (f *Fleet) GrayLog() map[string]GrayEntry {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]GrayEntry, len(f.grayLog))
+	for k, v := range f.grayLog {
+		out[k] = v
+	}
+	return out
+}
+
+// Users returns the protected accounts of a company.
+func (f *Fleet) Users(company string) []mail.Address { return f.users[company] }
+
+// Profile returns a company's profile.
+func (f *Fleet) Profile(company string) CompanyProfile { return f.profiles[company] }
+
+// SpamCampaigns returns the botnet campaign list.
+func (f *Fleet) SpamCampaigns() []*Campaign { return f.spamCamps }
+
+// NewsletterCampaigns returns the newsletter campaign list.
+func (f *Fleet) NewsletterCampaigns() []*Campaign { return f.newsCamps }
+
+// LegitPool returns the population of real correspondent addresses.
+func (f *Fleet) LegitPool() []mail.Address { return f.legitPool }
+
+// Greylist returns a company's greylist store (nil unless
+// UseGreylisting).
+func (f *Fleet) Greylist(company string) *greylist.Store { return f.greylists[company] }

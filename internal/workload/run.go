@@ -1,0 +1,459 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/digest"
+	"repro/internal/filters"
+	"repro/internal/greylist"
+	"repro/internal/mail"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// Run advances the simulation by the given number of days, generating
+// each company's daily traffic, running the challenge/solve machinery in
+// virtual time, and performing the daily chores (digest generation and
+// weeding, outbound user mail, quarantine expiry) plus the 4-hourly
+// §5.1 blacklist poll.
+func (f *Fleet) Run(days int) {
+	for d := 0; d < days; d++ {
+		f.runOneDay()
+	}
+}
+
+// runOneDay generates and processes one simulated day.
+func (f *Fleet) runOneDay() {
+	f.mu.Lock()
+	dayIdx := f.day
+	f.mu.Unlock()
+	dayStart := f.Start.Add(time.Duration(dayIdx) * day)
+
+	// Hourly traffic batches for every company.
+	for _, comp := range f.Companies {
+		comp := comp
+		p := f.profiles[comp.Name]
+		volume := int(float64(p.DailyVolume) * f.Cfg.ScaleVolume)
+		for h := 0; h < 24; h++ {
+			n := volume / 24
+			if h < volume%24 {
+				n++
+			}
+			if n == 0 {
+				continue
+			}
+			count := n
+			f.Sched.At(dayStart.Add(time.Duration(h)*time.Hour), func() {
+				for i := 0; i < count; i++ {
+					f.injectOne(comp)
+				}
+			})
+		}
+	}
+
+	// The §5.1 blacklist checker polls every CheckerPeriod.
+	ips := f.allOutIPs()
+	for t := f.Cfg.CheckerPeriod; t <= day; t += f.Cfg.CheckerPeriod {
+		f.Sched.At(dayStart.Add(t), func() { f.Checker.Poll(ips) })
+	}
+
+	// End-of-day chores.
+	f.Sched.At(dayStart.Add(23*time.Hour+50*time.Minute), func() {
+		f.dailyChores(dayIdx)
+	})
+
+	f.Sched.RunUntil(dayStart.Add(day))
+	f.mu.Lock()
+	f.day++
+	f.mu.Unlock()
+}
+
+// allOutIPs lists every company's outbound IPs (challenge + user mail).
+func (f *Fleet) allOutIPs() []string {
+	var ips []string
+	seen := make(map[string]bool)
+	for _, c := range f.Companies {
+		for _, ip := range []string{c.ChallengeIP, c.MailIP} {
+			if !seen[ip] {
+				seen[ip] = true
+				ips = append(ips, ip)
+			}
+		}
+	}
+	return ips
+}
+
+// drawClass samples a traffic class from the company's mix.
+func drawClass(rng *rand.Rand, m Mix) Class {
+	u := rng.Float64()
+	for _, c := range []struct {
+		p  float64
+		cl Class
+	}{
+		{m.Malformed, ClassMalformed},
+		{m.UnresolvableSender, ClassUnresolvable},
+		{m.RelayAttempt, ClassRelayAttempt},
+		{m.RejectedSender, ClassRejectedSender},
+		{m.UnknownRecipient, ClassUnknownRecipient},
+		{m.WhiteKnown, ClassWhite},
+		{m.BlackKnown, ClassBlack},
+		{m.LegitNew, ClassLegitNew},
+		{m.Newsletter, ClassNewsletter},
+		{m.NullSender, ClassNullSender},
+	} {
+		if u < c.p {
+			return c.cl
+		}
+		u -= c.p
+	}
+	return ClassSpam
+}
+
+// injectOne generates and delivers one message to a company's MTA-IN.
+func (f *Fleet) injectOne(comp *simnet.Company) {
+	f.mu.Lock()
+	p := f.profiles[comp.Name]
+	class := drawClass(f.rng, p.Mix)
+	f.classCounts[class]++
+	msg := f.buildMessage(comp, p, class)
+	f.mu.Unlock()
+
+	if f.Cfg.TraceSink != nil {
+		f.Cfg.TraceSink(trace.FromMessage(comp.Name, msg, class.String()))
+	}
+
+	// Greylisting (when enabled) gates messages that would otherwise be
+	// accepted: real senders' MTAs retry after the delay, botnet cannons
+	// mostly do not. Rejections for unknown users etc. stay permanent.
+	if gl := f.greylists[comp.Name]; gl != nil && comp.Engine.CheckMTAIn(msg) == core.Accepted {
+		if gl.Check(msg.ClientIP, msg.EnvelopeFrom, msg.Rcpt) == greylist.TempReject {
+			f.mu.Lock()
+			cls := f.truth[msg.ID]
+			retries := cls == ClassWhite || cls == ClassLegitNew || cls == ClassNewsletter ||
+				f.rng.Float64() < f.Cfg.SpamRetryProb
+			// White messages don't carry truth entries; infer from the
+			// whitelist instead.
+			if !retries {
+				retries = comp.Engine.Whitelists().IsWhite(msg.Rcpt, msg.EnvelopeFrom)
+			}
+			delay := 16*time.Minute + time.Duration(f.rng.Int63n(int64(30*time.Minute)))
+			f.mu.Unlock()
+			if retries {
+				f.Sched.After(delay, func() {
+					msg.Received = f.Clk.Now()
+					if gl.Check(msg.ClientIP, msg.EnvelopeFrom, msg.Rcpt) == greylist.Accept {
+						f.deliverToEngine(comp, msg)
+					}
+				})
+			}
+			return
+		}
+	}
+	f.deliverToEngine(comp, msg)
+}
+
+// deliverToEngine hands an (un-greylisted or retried) message to the
+// engine and captures gray-spool context.
+func (f *Fleet) deliverToEngine(comp *simnet.Company, msg *mail.Message) {
+	verdict := comp.Engine.Receive(msg)
+	if verdict != 0 { // core.Accepted == 0
+		return
+	}
+	// Capture gray-spool context for the offline SPF what-if (E14).
+	f.mu.Lock()
+	switch f.truth[msg.ID] {
+	case ClassLegitNew, ClassNewsletter, ClassSpam, ClassRelayAttempt, ClassNullSender:
+		f.grayLog[msg.ID] = GrayEntry{
+			MsgID:    msg.ID,
+			From:     msg.EnvelopeFrom,
+			ClientIP: msg.ClientIP,
+			Subject:  msg.Subject,
+		}
+	}
+	f.mu.Unlock()
+}
+
+// buildMessage constructs the mail.Message for a class. Caller holds f.mu.
+func (f *Fleet) buildMessage(comp *simnet.Company, p CompanyProfile, class Class) *mail.Message {
+	now := f.Clk.Now()
+	m := &mail.Message{
+		ID:       mail.NewID(comp.Name),
+		Received: now,
+	}
+	// Ground truth is only consulted for messages that can reach the
+	// gray spool (digest weeding, spurious-delivery scoring); skipping
+	// the rest keeps long runs lean.
+	switch class {
+	case ClassLegitNew, ClassNewsletter, ClassSpam, ClassNullSender, ClassRelayAttempt:
+		f.truth[m.ID] = class
+	}
+
+	users := f.users[comp.Name]
+	randUser := func() mail.Address { return users[f.rng.Intn(len(users))] }
+	randBot := func() botIP { return f.botnet[f.rng.Intn(len(f.botnet))] }
+	legitIPFor := func(domain string) string {
+		if ips, err := f.DNS.LookupA("mail." + domain); err == nil && len(ips) > 0 {
+			return ips[0]
+		}
+		return "192.0.2.250"
+	}
+
+	switch class {
+	case ClassMalformed:
+		m.EnvelopeFrom = f.innocents[f.rng.Intn(len(f.innocents))]
+		m.Rcpt = mail.Address{} // unparsable recipient
+		m.Subject = "malformed addressing"
+		m.Size = 900 + f.rng.Intn(2000)
+		m.ClientIP = randBot().ip
+
+	case ClassUnresolvable:
+		dom := f.unresolvable[f.rng.Intn(len(f.unresolvable))]
+		m.EnvelopeFrom = mail.Address{Local: fmt.Sprintf("x%d", f.rng.Intn(10000)), Domain: dom}
+		m.Rcpt = randUser()
+		m.Subject = makeSubject(f.rng, "")
+		m.Size = 1500 + f.rng.Intn(4000)
+		m.ClientIP = randBot().ip
+
+	case ClassRelayAttempt:
+		m.EnvelopeFrom = f.innocents[f.rng.Intn(len(f.innocents))]
+		if p.OpenRelay {
+			// Open relays accept mail for their relayed domains,
+			// addressed to arbitrary mailboxes.
+			m.Rcpt = mail.Address{
+				Local:  fmt.Sprintf("box%d", f.rng.Intn(5000)),
+				Domain: "relay-" + p.Domain,
+			}
+		} else {
+			m.Rcpt = mail.Address{Local: "info", Domain: f.foreignDomain}
+		}
+		camp := f.pickSpamCampaign(comp.Name)
+		m.Subject = camp.Subject
+		m.Size = camp.MsgSize
+		m.ClientIP = randBot().ip
+
+	case ClassRejectedSender:
+		m.EnvelopeFrom = f.rejectedBy[comp.Name]
+		m.Rcpt = randUser()
+		m.Subject = "message from rejected sender"
+		m.Size = 1200
+		m.ClientIP = randBot().ip
+
+	case ClassUnknownRecipient:
+		m.EnvelopeFrom = f.innocents[f.rng.Intn(len(f.innocents))]
+		m.Rcpt = mail.Address{
+			Local:  fmt.Sprintf("harvest%d", f.rng.Intn(1000000)),
+			Domain: p.Domain,
+		}
+		camp := f.pickSpamCampaign(comp.Name)
+		m.Subject = camp.Subject
+		m.Size = camp.MsgSize
+		m.ClientIP = randBot().ip
+
+	case ClassWhite:
+		u := randUser()
+		m.Rcpt = u
+		seeds := f.seededWL[u.Key()]
+		if len(seeds) == 0 {
+			m.EnvelopeFrom = f.legitPool[f.rng.Intn(len(f.legitPool))]
+		} else {
+			m.EnvelopeFrom = seeds[f.rng.Intn(len(seeds))]
+		}
+		m.Subject = makeSubject(f.rng, "re")
+		m.Size = 4000 + f.rng.Intn(45000)
+		m.ClientIP = legitIPFor(m.EnvelopeFrom.Domain)
+
+	case ClassBlack:
+		u := randUser()
+		m.Rcpt = u
+		bl := f.seededBL[u.Key()]
+		if len(bl) == 0 {
+			m.EnvelopeFrom = f.innocents[f.rng.Intn(len(f.innocents))]
+		} else {
+			m.EnvelopeFrom = bl[f.rng.Intn(len(bl))]
+		}
+		m.Subject = makeSubject(f.rng, "")
+		m.Size = 1500 + f.rng.Intn(4000)
+		m.ClientIP = legitIPFor(m.EnvelopeFrom.Domain)
+
+	case ClassLegitNew:
+		m.Rcpt = randUser()
+		m.EnvelopeFrom = f.legitPool[f.rng.Intn(len(f.legitPool))]
+		m.Subject = makeSubject(f.rng, "hello")
+		m.Size = 4000 + f.rng.Intn(30000)
+		m.ClientIP = legitIPFor(m.EnvelopeFrom.Domain)
+
+	case ClassNewsletter:
+		camp := f.newsCamps[f.rng.Intn(len(f.newsCamps))]
+		m.Rcpt = randUser()
+		m.EnvelopeFrom = camp.Senders[f.rng.Intn(len(camp.Senders))]
+		m.Subject = camp.Subject
+		m.Size = camp.MsgSize
+		m.ClientIP = legitIPFor(m.EnvelopeFrom.Domain)
+
+	case ClassNullSender:
+		m.EnvelopeFrom = mail.Null
+		m.Rcpt = randUser()
+		m.Subject = "Delivery Status Notification (Failure) for your recent message attempt"
+		m.Size = 2200
+		m.ClientIP = legitIPFor(f.legitPool[0].Domain)
+
+	default: // ClassSpam
+		camp := f.pickSpamCampaign(comp.Name)
+		targets := f.campaignTargets(camp, comp.Name)
+		m.Rcpt = targets[f.rng.Intn(len(targets))]
+		m.EnvelopeFrom = camp.SpoofPool[f.rng.Intn(len(camp.SpoofPool))]
+		m.Subject = camp.Subject
+		m.Size = camp.MsgSize
+		bot := randBot()
+		m.ClientIP = bot.ip
+		if f.rng.Float64() < camp.VirusProb {
+			m.Body = "please see the attached file " + filters.EICAR
+		}
+	}
+	m.HeaderFrom = m.EnvelopeFrom
+	if m.Body == "" {
+		m.Body = strings.Repeat("x", minInt(m.Size, 256))
+	}
+	return m
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// pickSpamCampaign selects an active campaign covering the company, by
+// weight; it degrades to any covering campaign, then to any campaign
+// (spam never stops entirely).
+func (f *Fleet) pickSpamCampaign(company string) *Campaign {
+	dayIdx := f.day
+	var active, covering []*Campaign
+	var total float64
+	for _, c := range f.spamCamps {
+		if !f.campaignCovers(c, company) {
+			continue
+		}
+		covering = append(covering, c)
+		if c.ActiveOn(dayIdx) {
+			active = append(active, c)
+			total += c.Weight
+		}
+	}
+	if len(active) == 0 {
+		if len(covering) > 0 {
+			return covering[f.rng.Intn(len(covering))]
+		}
+		return f.spamCamps[f.rng.Intn(len(f.spamCamps))]
+	}
+	u := f.rng.Float64() * total
+	for _, c := range active {
+		if u < c.Weight {
+			return c
+		}
+		u -= c.Weight
+	}
+	return active[len(active)-1]
+}
+
+// campaignCovers memoises whether a campaign's harvested list includes
+// the company (probability 0.4 per pair).
+func (f *Fleet) campaignCovers(c *Campaign, company string) bool {
+	if v, ok := c.covers[company]; ok {
+		return v
+	}
+	v := f.rng.Float64() < 0.3
+	c.covers[company] = v
+	return v
+}
+
+// dailyChores records digests, simulates digest weeding and outbound
+// user mail, and expires old quarantine entries.
+func (f *Fleet) dailyChores(dayIdx int) {
+	today := f.Start.Add(time.Duration(dayIdx) * day)
+	for _, comp := range f.Companies {
+		p := f.profiles[comp.Name]
+		eng := comp.Engine
+		for _, u := range f.users[comp.Name] {
+			pending := eng.PendingForUser(u)
+			f.Digests.Record(u, today, pending)
+
+			f.mu.Lock()
+			diligent := f.rng.Float64() < p.DigestDiligence
+			f.mu.Unlock()
+			if diligent && len(pending) > 0 {
+				f.weedDigest(comp, u, pending)
+			}
+
+			// Outbound mail: implicit whitelisting plus the §5.1
+			// user-mail exposure channel. Rates are per-user skewed.
+			f.mu.Lock()
+			nOut := poisson(f.rng, p.OutboundPerUserDay*f.activity[u.Key()])
+			f.mu.Unlock()
+			for i := 0; i < nOut; i++ {
+				f.sendOutbound(comp, u)
+			}
+		}
+		eng.ExpireQuarantine()
+	}
+}
+
+// weedDigest simulates the user working through their digest: authorize
+// wanted mail, delete junk, leave the rest.
+func (f *Fleet) weedDigest(comp *simnet.Company, u mail.Address, pending []digest.Item) {
+	for _, item := range pending {
+		f.mu.Lock()
+		class := f.truth[item.MsgID]
+		authorize := class.Wanted() && f.rng.Float64() < f.Cfg.DigestAuthorizeProb
+		del := !class.Wanted() && f.rng.Float64() < f.Cfg.DigestDeleteProb
+		f.mu.Unlock()
+		switch {
+		case authorize:
+			_ = comp.Engine.AuthorizeFromDigest(u, item.MsgID)
+		case del:
+			_ = comp.Engine.DeleteFromDigest(u, item.MsgID)
+		}
+	}
+}
+
+// sendOutbound models one outbound user message: 80% to an existing
+// contact, 20% to a brand-new address (which then gets auto-whitelisted).
+func (f *Fleet) sendOutbound(comp *simnet.Company, u mail.Address) {
+	f.mu.Lock()
+	var to mail.Address
+	seeds := f.seededWL[u.Key()]
+	if len(seeds) > 0 && f.rng.Float64() < 0.8 {
+		to = seeds[f.rng.Intn(len(seeds))]
+	} else {
+		to = f.legitPool[f.rng.Intn(len(f.legitPool))]
+	}
+	f.mu.Unlock()
+	comp.Engine.UserSentMail(u, to)
+	f.Net.SendUserMail(comp, to)
+}
+
+// poisson draws from a Poisson distribution via Knuth's method (fine for
+// the small lambdas used here).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 {
+			return k
+		}
+	}
+}

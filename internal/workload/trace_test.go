@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mail"
+	"repro/internal/trace"
+)
+
+// TestTraceReplayReproducesMTADecisions freezes a fleet's workload to a
+// trace, replays it against freshly-built engines with the same
+// configuration, and verifies the MTA-layer decisions are identical —
+// the property that makes traces usable for apples-to-apples filter
+// comparisons.
+func TestTraceReplayReproducesMTADecisions(t *testing.T) {
+	mail.ResetIDCounter()
+	var sb strings.Builder
+	tw, err := trace.NewWriter(&sb, trace.Header{Name: "replay-test", Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := smallConfig(31)
+	cfg.TraceSink = tw.Write
+	f := NewFleet(cfg)
+	f.Run(2)
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Original MTA decision counts per company.
+	type counts struct {
+		incoming int64
+		dropped  int64
+		unknown  int64
+	}
+	orig := make(map[string]counts)
+	for _, c := range f.Companies {
+		m := c.Engine.Metrics()
+		orig[c.Name] = counts{
+			incoming: m.MTAIncoming,
+			dropped:  m.TotalMTADropped(),
+			unknown:  m.MTADropped[core.UnknownRecipient],
+		}
+	}
+
+	// Rebuild an identical fleet (same seed => same users, DNS, botnet,
+	// whitelist seeds) but feed it the TRACE instead of generating.
+	mail.ResetIDCounter()
+	cfg2 := smallConfig(31)
+	f2 := NewFleet(cfg2)
+	byName := make(map[string]*core.Engine)
+	for _, c := range f2.Companies {
+		byName[c.Name] = c.Engine
+	}
+
+	r, err := trace.NewReader(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := trace.NewReplayer(r)
+	rp.Deliver = func(company string, m *mail.Message, _ string) {
+		if eng := byName[company]; eng != nil {
+			// Keep virtual time in step so seeded whitelist timestamps
+			// and quarantine behave the same.
+			if m.Received.After(f2.Clk.Now()) {
+				f2.Clk.Set(m.Received)
+			}
+			eng.Receive(m)
+		}
+	}
+	n, err := rp.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalOrig int64
+	for _, c := range orig {
+		totalOrig += c.incoming
+	}
+	if n != totalOrig {
+		t.Fatalf("replayed %d, original %d", n, totalOrig)
+	}
+
+	// MTA decisions are a pure function of (message, config, seeded
+	// whitelists), so they must match exactly. (Dispatcher-level white
+	// counts can drift: the original run's whitelists grew through
+	// challenge solving, which replay does not include.)
+	for name, o := range orig {
+		m := byName[name].Metrics()
+		if m.MTAIncoming != o.incoming {
+			t.Errorf("%s incoming: %d vs %d", name, m.MTAIncoming, o.incoming)
+		}
+		if m.MTADropped[core.UnknownRecipient] != o.unknown {
+			t.Errorf("%s unknown-rcpt: %d vs %d", name, m.MTADropped[core.UnknownRecipient], o.unknown)
+		}
+	}
+}
