@@ -34,12 +34,14 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/dnssim"
+	"repro/internal/faults"
 	"repro/internal/filters"
 	"repro/internal/gateway"
 	"repro/internal/mail"
 	"repro/internal/mailbox"
 	"repro/internal/outbound"
 	"repro/internal/rbl"
+	"repro/internal/resilience"
 	"repro/internal/smtp"
 	"repro/internal/store"
 	"repro/internal/whitelist"
@@ -56,14 +58,44 @@ func main() {
 		permitAll = flag.Bool("resolve-all", true, "treat every sender domain as resolvable (no real DNS in the sandbox)")
 		statePath = flag.String("state", "", "whitelist snapshot file (loaded at boot, saved periodically and on SIGINT)")
 		smarthost = flag.String("smarthost", "", "next-hop SMTP server for outgoing challenges (host:port); empty = log only")
+		faultPlan = flag.String("fault-plan", "", "JSON fault plan file; injects faults into DNS, the blocklist, the scanner, the smarthost path and state saves")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault injector's RNG (with -fault-plan)")
 	)
 	flag.Parse()
 
 	clk := clock.Real{}
 	dns := dnssim.NewServer()
 	provider := rbl.NewProvider("local-dnsbl", rbl.DefaultPolicy(), clk)
-	chain := filters.NewChain(filters.NewAntivirus(), filters.NewRBL(provider))
+
+	var inj faults.Injector
+	if *faultPlan != "" {
+		plan, err := faults.LoadFile(*faultPlan)
+		if err != nil {
+			log.Fatalf("fault plan: %v", err)
+		}
+		set := faults.New(plan, *faultSeed, clk)
+		inj = set
+		dns.SetInjector(set)
+		provider.SetInjector(set)
+		log.Printf("fault injection active (seed %d):\n%s", *faultSeed, plan.Describe())
+	}
+
+	av := filters.NewAntivirus()
+	if inj != nil {
+		av.SetInjector(inj)
+	}
+	harden := func(pr filters.Prober, mode filters.DegradeMode) filters.Filter {
+		return filters.Harden(pr, mode, filters.HardenOpts{
+			Breaker: resilience.NewBreaker(pr.Name(), resilience.DefaultBreakerConfig(), clk),
+			Seed:    *faultSeed,
+		})
+	}
+	chain := filters.NewChain(
+		harden(av, filters.FailClosed),
+		harden(filters.NewRBL(provider), filters.FailOpen),
+	)
 	wl := whitelist.NewStore(clk)
+	saver := &store.Saver{Path: *statePath, Name: "crserver", Injector: inj}
 	if *statePath != "" {
 		snap, err := store.LoadFile(*statePath, wl)
 		if err != nil {
@@ -94,6 +126,7 @@ func main() {
 		queue = outbound.NewQueue(outbound.Config{
 			Dial:       func() (*smtp.Client, error) { return smtp.Dial(*smarthost, 10*time.Second) },
 			HeloDomain: *domain,
+			Injector:   inj,
 		})
 		base := sendChallenge
 		sendChallenge = func(ch core.OutboundChallenge) {
@@ -150,7 +183,7 @@ func main() {
 			if n := eng.ExpireQuarantine(); n > 0 {
 				log.Printf("expired %d quarantined message(s)", n)
 			}
-			saveState(*statePath, wl)
+			saveState(saver, wl)
 		}
 	}()
 
@@ -173,7 +206,7 @@ func main() {
 		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 		go func() {
 			<-sigc
-			saveState(*statePath, wl)
+			saveState(saver, wl)
 			log.Printf("state saved to %s; exiting", *statePath)
 			os.Exit(0)
 		}()
@@ -198,12 +231,13 @@ func challengeBase(httpAddr string) string {
 }
 
 // saveState snapshots the whitelists, logging rather than failing —
-// the mail path must survive a full state disk.
-func saveState(path string, wl *whitelist.Store) {
-	if path == "" {
+// the mail path must survive a full state disk (or an injected write
+// error), and the atomic save keeps the previous snapshot intact.
+func saveState(s *store.Saver, wl *whitelist.Store) {
+	if s.Path == "" {
 		return
 	}
-	if err := store.SaveFile(path, "crserver", wl, time.Now()); err != nil {
+	if err := s.Save(wl, time.Now()); err != nil {
 		log.Printf("state save failed: %v", err)
 	}
 }

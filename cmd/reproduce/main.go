@@ -9,6 +9,8 @@
 //	reproduce -preset quick    # small fast run (benchmarks' preset)
 //	reproduce -days 60 -seed 7 # custom
 //	reproduce -only fig4a      # a single artifact
+//	reproduce -preset quick -only chaos -fault-plan plan.json
+//	                           # base-vs-faulted delta under a fault plan
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 )
 
 func main() {
@@ -27,10 +30,22 @@ func main() {
 		seed        = flag.Int64("seed", 42, "simulation seed (equal seeds reproduce exactly)")
 		companies   = flag.Int("companies", 0, "override company count")
 		days        = flag.Int("days", 0, "override simulated days")
-		only        = flag.String("only", "", "render one artifact: fig1|table1|fig4a|fig4b|ratios|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|ablations")
+		only        = flag.String("only", "", "render one artifact: fig1|table1|fig4a|fig4b|ratios|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|ablations|chaos")
 		sensitivity = flag.Int("sensitivity", 0, "instead of one run, simulate N seeds and print the cross-seed stability table")
+		faultPlan   = flag.String("fault-plan", "", "JSON fault plan file applied to the run (default plan for -only chaos)")
 	)
 	flag.Parse()
+
+	var plan *faults.Plan
+	if *faultPlan != "" {
+		var err error
+		plan, err = faults.LoadFile(*faultPlan)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fault plan: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "fault plan active:\n%s", plan.Describe())
+	}
 
 	if *sensitivity > 0 {
 		fmt.Fprintf(os.Stderr, "running %d independently-seeded quick fleets...\n", *sensitivity)
@@ -53,6 +68,16 @@ func main() {
 	}
 	if *days > 0 {
 		cfg.Days = *days
+	}
+	cfg.FaultPlan = plan
+
+	// The chaos artifact runs the fleet twice (clean and faulted) and
+	// diffs, so it is special-cased ahead of the single-run renderers.
+	if strings.ToLower(*only) == "chaos" {
+		fmt.Fprintf(os.Stderr, "chaos run: %d companies, %d simulated days, seed %d (x2)...\n",
+			cfg.Companies, cfg.Days, cfg.Seed)
+		fmt.Println(experiments.Chaos(cfg, plan).Render())
+		return
 	}
 
 	fmt.Fprintf(os.Stderr, "building fleet: %d companies, %d simulated days, seed %d...\n",

@@ -164,6 +164,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "spool_black %d\n", m.SpoolBlack)
 	fmt.Fprintf(w, "spool_gray %d\n", m.SpoolGray)
 	fmt.Fprintf(w, "filter_dropped %d\n", m.TotalFilterDropped())
+	fmt.Fprintf(w, "filter_degraded %d\n", m.TotalFilterDegraded())
+	fmt.Fprintf(w, "mta_degraded_accept %d\n", m.MTADegradedAccept)
+	fmt.Fprintf(w, "mta_degraded_drop %d\n", m.MTADegradedDrop)
 	fmt.Fprintf(w, "challenges_sent %d\n", m.ChallengesSent)
 	fmt.Fprintf(w, "challenges_suppressed %d\n", m.ChallengeSuppressed)
 	fmt.Fprintf(w, "quarantine_len %d\n", s.engine.QuarantineLen())

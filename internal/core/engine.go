@@ -205,6 +205,16 @@ type Config struct {
 	// exposure. Over-cap gray messages are quarantined without a
 	// challenge and remain rescuable from the digest.
 	MaxChallengesPerHour int
+	// DNSDegrade is the MTA-IN's policy when the sender-domain
+	// resolvability check cannot be answered because the resolver itself
+	// is failing (as opposed to an authoritative NXDOMAIN). The default,
+	// FailOpen, accepts the message — a resolver outage must not bounce
+	// the whole mail stream; the unresolvable-domain drop (§2) only
+	// applies to authoritative negatives.
+	DNSDegrade filters.DegradeMode
+	// DNSRetries bounds the in-line resolvability retries before the
+	// degradation policy applies (default 2).
+	DNSRetries int
 }
 
 // quarantined is one message waiting in the gray spool.
@@ -242,6 +252,16 @@ type Metrics struct {
 	// ChallengeRateLimited counts gray messages quarantined without a
 	// challenge because the hourly outbound cap was reached.
 	ChallengeRateLimited int64
+	// FilterDegraded counts, per filter name, gray-spool evaluations in
+	// which the filter's dependency was unavailable and its degradation
+	// policy decided the outcome.
+	FilterDegraded map[string]int64
+	// MTADegradedAccept counts messages accepted because the sender
+	// domain's resolvability could not be determined (resolver failure)
+	// under a fail-open DNSDegrade policy; MTADegradedDrop counts the
+	// fail-closed mirror (reported as Unresolvable drops as well).
+	MTADegradedAccept int64
+	MTADegradedDrop   int64
 
 	// Deliveries and quarantine.
 	Delivered         map[DeliveryVia]int64
@@ -294,6 +314,9 @@ func New(cfg Config, clk clock.Clock, resolver dnssim.Resolver, chain *filters.C
 	if cfg.ChallengeSize <= 0 {
 		cfg.ChallengeSize = 1800 // typical challenge email incl. headers
 	}
+	if cfg.DNSRetries <= 0 {
+		cfg.DNSRetries = 2
+	}
 	e := &Engine{
 		cfg:              cfg,
 		clk:              clk,
@@ -308,6 +331,7 @@ func New(cfg Config, clk clock.Clock, resolver dnssim.Resolver, chain *filters.C
 	}
 	e.m.MTADropped = make(map[MTAReason]int64)
 	e.m.FilterDropped = make(map[string]int64)
+	e.m.FilterDegraded = make(map[string]int64)
 	e.m.Delivered = make(map[DeliveryVia]int64)
 	e.captcha = captcha.NewService(captcha.Config{
 		Clock:    clk,
@@ -439,20 +463,32 @@ func (e *Engine) relayDomain(d string) bool {
 // it, returning the verdict. Exposed separately so the SMTP front end can
 // reject at RCPT time with the right status code.
 func (e *Engine) CheckMTAIn(msg *mail.Message) MTAReason {
+	r, _ := e.checkMTAIn(msg)
+	return r
+}
+
+// checkMTAIn is CheckMTAIn plus the degradation channel: degraded is true
+// when the resolvability verdict came from the DNSDegrade policy because
+// the resolver itself was failing.
+func (e *Engine) checkMTAIn(msg *mail.Message) (reason MTAReason, degraded bool) {
 	// 1. Well-formed addresses (RFC 822). Messages are handed to us with
 	// parsed addresses; a zero recipient or an unparsable raw form counts
 	// as malformed. The null envelope sender is legal (bounces).
 	if msg.Rcpt == (mail.Address{}) {
-		return Malformed
+		return Malformed, false
 	}
 	// 2. Resolvable sender domain.
-	if !msg.EnvelopeFrom.IsNull() && !e.resolverOK(msg.EnvelopeFrom.Domain) {
-		return Unresolvable
+	if !msg.EnvelopeFrom.IsNull() {
+		ok, deg := e.resolverOK(msg.EnvelopeFrom.Domain)
+		degraded = deg
+		if !ok {
+			return Unresolvable, degraded
+		}
 	}
 	// 3. Relay policy.
 	if !e.localDomain(msg.Rcpt.Domain) {
 		if !(e.cfg.OpenRelay && e.relayDomain(msg.Rcpt.Domain)) {
-			return NoRelay
+			return NoRelay, degraded
 		}
 	}
 	// 4. Administratively rejected sender.
@@ -461,26 +497,50 @@ func (e *Engine) CheckMTAIn(msg *mail.Message) MTAReason {
 	known := e.users[msg.Rcpt.Key()]
 	e.mu.Unlock()
 	if rej {
-		return SenderRejected
+		return SenderRejected, degraded
 	}
 	// 5. Recipient must exist for local domains. Open relays accept mail
 	// for relayed domains without a user database — that is why the
 	// paper's open-relay servers passed most messages to the next layer.
 	if e.localDomain(msg.Rcpt.Domain) && !known {
-		return UnknownRecipient
+		return UnknownRecipient, degraded
 	}
-	return Accepted
+	return Accepted, degraded
 }
 
-func (e *Engine) resolverOK(domain string) bool {
+// resolverOK answers "is the sender domain resolvable", retrying bounded
+// times across temporary resolver failures; if the resolver stays down
+// the DNSDegrade policy decides (degraded=true): fail-open treats the
+// domain as resolvable, fail-closed as unresolvable.
+func (e *Engine) resolverOK(domain string) (ok, degraded bool) {
+	attempts := e.cfg.DNSRetries + 1
+	for i := 0; i < attempts; i++ {
+		ok, err := e.lookupResolvable(domain)
+		if err == nil {
+			return ok, false
+		}
+	}
+	return e.cfg.DNSDegrade == filters.FailOpen, true
+}
+
+// lookupResolvable makes one resolvability probe. The error channel
+// carries temporary resolver failures only; authoritative negatives
+// return (false, nil).
+func (e *Engine) lookupResolvable(domain string) (bool, error) {
 	if s, ok := e.resolver.(*dnssim.Server); ok {
-		return s.Resolvable(domain)
+		return s.ResolvableErr(domain)
 	}
 	if _, err := e.resolver.LookupMX(domain); err == nil {
-		return true
+		return true, nil
+	} else if dnssim.IsTemporary(err) {
+		return false, err
 	}
-	_, err := e.resolver.LookupA(domain)
-	return err == nil || !dnssim.IsTemporary(err)
+	if _, err := e.resolver.LookupA(domain); err == nil {
+		return true, nil
+	} else if dnssim.IsTemporary(err) {
+		return false, err
+	}
+	return false, nil
 }
 
 // Receive is the full per-message pipeline: MTA-IN checks, then dispatch.
@@ -493,7 +553,23 @@ func (e *Engine) Receive(msg *mail.Message) MTAReason {
 	e.m.MTAInBytes += int64(msg.Size)
 	e.mu.Unlock()
 
-	if r := e.CheckMTAIn(msg); r != Accepted {
+	r, degraded := e.checkMTAIn(msg)
+	if degraded {
+		action := "accept"
+		if r == Unresolvable {
+			action = "drop"
+		}
+		e.mu.Lock()
+		if r == Unresolvable {
+			e.m.MTADegradedDrop++
+		} else {
+			e.m.MTADegradedAccept++
+		}
+		e.mu.Unlock()
+		e.emit(maillog.KindDegraded, msg.ID,
+			"component", "dns-resolve", "mode", e.cfg.DNSDegrade.String(), "action", action)
+	}
+	if r != Accepted {
 		e.mu.Lock()
 		e.m.MTADropped[r]++
 		e.mu.Unlock()
@@ -537,11 +613,23 @@ func (e *Engine) dispatch(msg *mail.Message) {
 // handleGray runs the auxiliary filters and challenges survivors.
 func (e *Engine) handleGray(msg *mail.Message) GrayOutcome {
 	if e.chain != nil {
-		if res, name := e.chain.Check(msg); res.Verdict == filters.Drop {
+		o := e.chain.Run(msg)
+		for _, d := range o.Degraded {
 			e.mu.Lock()
-			e.m.FilterDropped[name]++
+			e.m.FilterDegraded[d.Filter]++
 			e.mu.Unlock()
-			e.emit(maillog.KindFilterDrop, msg.ID, "filter", name)
+			action := "pass"
+			if d.Mode == filters.FailClosed {
+				action = "drop"
+			}
+			e.emit(maillog.KindDegraded, msg.ID,
+				"component", d.Filter, "mode", d.Mode.String(), "action", action)
+		}
+		if o.Result.Verdict == filters.Drop {
+			e.mu.Lock()
+			e.m.FilterDropped[o.DroppedBy]++
+			e.mu.Unlock()
+			e.emit(maillog.KindFilterDrop, msg.ID, "filter", o.DroppedBy)
 			return GrayDropped
 		}
 	}
@@ -877,6 +965,15 @@ func (m Metrics) TotalMTADropped() int64 {
 func (m Metrics) TotalFilterDropped() int64 {
 	var n int64
 	for _, v := range m.FilterDropped {
+		n += v
+	}
+	return n
+}
+
+// TotalFilterDegraded sums degraded (fail-open/fail-closed) filter decisions.
+func (m Metrics) TotalFilterDegraded() int64 {
+	var n int64
+	for _, v := range m.FilterDegraded {
 		n += v
 	}
 	return n

@@ -15,6 +15,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
+
+	"repro/internal/faults"
 )
 
 // Lookup errors.
@@ -30,7 +33,15 @@ var (
 
 // IsTemporary reports whether err represents a temporary DNS failure, after
 // which a caller may retry, as opposed to an authoritative negative answer.
-func IsTemporary(err error) bool { return errors.Is(err, ErrTimeout) }
+// Injected timeouts/outages from the fault substrate count as temporary.
+func IsTemporary(err error) bool {
+	return errors.Is(err, ErrTimeout) || errors.Is(err, faults.ErrTimeout) ||
+		errors.Is(err, faults.ErrOutage)
+}
+
+// DefaultQueryTimeout is the per-lookup deadline injected latency is
+// compared against: an answer slower than this is a timeout.
+const DefaultQueryTimeout = 5 * time.Second
 
 // MX is a mail-exchanger record.
 type MX struct {
@@ -60,11 +71,13 @@ type zone struct {
 
 // Server is the in-memory DNS database. It is safe for concurrent use.
 type Server struct {
-	mu    sync.RWMutex
-	zones map[string]*zone  // by lower-case domain
-	ptr   map[string]string // by dotted-quad IP
-	fail  map[string]error  // injected failure per domain
-	stats Stats
+	mu      sync.RWMutex
+	zones   map[string]*zone  // by lower-case domain
+	ptr     map[string]string // by dotted-quad IP
+	fail    map[string]error  // injected failure per domain
+	inj     faults.Injector   // optional whole-resolver fault source
+	timeout time.Duration     // per-lookup deadline for injected latency
+	stats   Stats
 }
 
 // Stats counts queries served, for the measurement pipeline.
@@ -77,10 +90,43 @@ type Stats struct {
 // NewServer returns an empty DNS server.
 func NewServer() *Server {
 	return &Server{
-		zones: make(map[string]*zone),
-		ptr:   make(map[string]string),
-		fail:  make(map[string]error),
+		zones:   make(map[string]*zone),
+		ptr:     make(map[string]string),
+		fail:    make(map[string]error),
+		timeout: DefaultQueryTimeout,
 	}
+}
+
+// SetInjector installs a fault injector consulted (target "dns") on every
+// lookup; injected timeouts/outages surface as ErrTimeout-class errors,
+// and injected latency at or above the query timeout becomes a timeout.
+// Pass nil to clear.
+func (s *Server) SetInjector(inj faults.Injector) {
+	s.mu.Lock()
+	s.inj = inj
+	s.mu.Unlock()
+}
+
+// SetQueryTimeout overrides the per-lookup deadline (default 5s).
+func (s *Server) SetQueryTimeout(d time.Duration) {
+	s.mu.Lock()
+	if d > 0 {
+		s.timeout = d
+	}
+	s.mu.Unlock()
+}
+
+// inject consults the fault injector for one lookup. Caller holds s.mu.
+func (s *Server) inject() error {
+	if s.inj == nil {
+		return nil
+	}
+	d := s.inj.Decide("dns", s.timeout)
+	if d.Err != nil {
+		s.stats.Timeouts++
+		return fmt.Errorf("%w: %v", ErrTimeout, d.Err)
+	}
+	return nil
 }
 
 func key(domain string) string { return strings.ToLower(strings.TrimSuffix(domain, ".")) }
@@ -151,17 +197,35 @@ func (s *Server) FailDomain(domain string, err error) {
 // MTA-IN applies to sender domains ("Unable to resolve the domain", 4.19%
 // of drops in the study). A domain with only an MX record is resolvable.
 func (s *Server) Resolvable(domain string) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if _, bad := s.fail[key(domain)]; bad {
-		return false
+	ok, _ := s.ResolvableErr(domain)
+	return ok
+}
+
+// ResolvableErr is Resolvable with the temporary-failure channel exposed:
+// an injected resolver fault (or a FailDomain timeout) returns a non-nil
+// error so the caller can apply its degradation policy instead of
+// silently treating "DNS is down" as "domain does not exist".
+func (s *Server) ResolvableErr(domain string) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.inject(); err != nil {
+		return false, err
+	}
+	if err, bad := s.fail[key(domain)]; bad {
+		if IsTemporary(err) {
+			return false, fmt.Errorf("%w (domain %s)", ErrTimeout, domain)
+		}
+		return false, nil
 	}
 	_, ok := s.zones[key(domain)]
-	return ok
+	return ok, nil
 }
 
 func (s *Server) pre(domain string) (*zone, error) {
 	s.stats.Queries++
+	if err := s.inject(); err != nil {
+		return nil, err
+	}
 	if err, ok := s.fail[key(domain)]; ok {
 		if errors.Is(err, ErrTimeout) {
 			s.stats.Timeouts++
@@ -213,6 +277,9 @@ func (s *Server) LookupPTR(ip string) (string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.Queries++
+	if err := s.inject(); err != nil {
+		return "", err
+	}
 	h, ok := s.ptr[ip]
 	if !ok {
 		s.stats.NXDomain++

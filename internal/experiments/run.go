@@ -13,6 +13,7 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/mail"
 	"repro/internal/workload"
 )
@@ -30,6 +31,9 @@ type RunConfig struct {
 	// ratios/shapes, which are scale-invariant.
 	UserScale   float64
 	VolumeScale float64
+	// FaultPlan, when non-nil, runs the whole workload under the
+	// internal/faults injection layer (the chaos experiment).
+	FaultPlan *faults.Plan
 }
 
 // Quick is the preset used by unit tests and benchmarks: small but large
@@ -67,6 +71,7 @@ func NewRun(cfg RunConfig) *Run {
 	}
 	mail.ResetIDCounter()
 	wcfg := workload.DefaultConfig(cfg.Seed, cfg.Companies)
+	wcfg.FaultPlan = cfg.FaultPlan
 	for i := range wcfg.Profiles {
 		p := &wcfg.Profiles[i]
 		p.Users = maxInt(5, int(float64(p.Users)*cfg.UserScale))
@@ -95,9 +100,10 @@ type AggregateMetrics struct {
 
 func newMetrics() core.Metrics {
 	return core.Metrics{
-		MTADropped:    make(map[core.MTAReason]int64),
-		FilterDropped: make(map[string]int64),
-		Delivered:     make(map[core.DeliveryVia]int64),
+		MTADropped:     make(map[core.MTAReason]int64),
+		FilterDropped:  make(map[string]int64),
+		FilterDegraded: make(map[string]int64),
+		Delivered:      make(map[core.DeliveryVia]int64),
 	}
 }
 
@@ -114,11 +120,16 @@ func addInto(dst *core.Metrics, m core.Metrics) {
 	dst.ChallengeSuppressed += m.ChallengeSuppressed
 	dst.QuarantineExpired += m.QuarantineExpired
 	dst.DigestDeleted += m.DigestDeleted
+	dst.MTADegradedAccept += m.MTADegradedAccept
+	dst.MTADegradedDrop += m.MTADegradedDrop
 	for k, v := range m.MTADropped {
 		dst.MTADropped[k] += v
 	}
 	for k, v := range m.FilterDropped {
 		dst.FilterDropped[k] += v
+	}
+	for k, v := range m.FilterDegraded {
+		dst.FilterDegraded[k] += v
 	}
 	for k, v := range m.Delivered {
 		dst.Delivered[k] += v

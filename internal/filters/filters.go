@@ -10,11 +10,14 @@
 package filters
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 
 	"repro/internal/dnssim"
+	"repro/internal/faults"
 	"repro/internal/rbl"
+	"repro/internal/resilience"
 	"repro/internal/spf"
 
 	"repro/internal/mail"
@@ -56,12 +59,53 @@ type Filter interface {
 	Check(msg *mail.Message) Result
 }
 
+// Prober is a Filter whose verdict depends on external infrastructure
+// (DNS, a blocklist, a scanner daemon) and can therefore fail for
+// reasons that have nothing to do with the message. Probe separates the
+// two channels Check conflates: a Result when the dependency answered,
+// or an error when it did not. The Hardened wrapper turns those errors
+// into explicit fail-open / fail-closed degradation.
+type Prober interface {
+	Filter
+	// Probe returns the filter's verdict, or an infrastructure error
+	// (in which case the Result is meaningless).
+	Probe(msg *mail.Message) (Result, error)
+}
+
+// DegradeMode is a filter's policy when its dependency is unavailable.
+type DegradeMode int
+
+// Degradation policies.
+const (
+	// FailOpen: pass the message through. Correct for advisory checks
+	// (reverse-DNS, RBL, SPF): a DNS outage must not silently drop real
+	// mail — the worst case is a few extra challenges (§4, §5.1).
+	FailOpen DegradeMode = iota
+	// FailClosed: hold (drop from the chain's perspective) the message.
+	// Correct for structural checks like the antivirus scan: delivering
+	// unscanned attachments is worse than quarantining them.
+	FailClosed
+)
+
+// String returns the policy label.
+func (m DegradeMode) String() string {
+	if m == FailClosed {
+		return "fail-closed"
+	}
+	return "fail-open"
+}
+
 // Antivirus is a signature-matching scanner. The simulation embeds one of
 // the configured signatures in the body of virus-carrying messages, which
 // exercises the same code path a ClamAV-style engine would: a scan over
-// the body with a signature set.
+// the body with a signature set. Real deployments talk to a scanner
+// daemon (clamd) over a socket, so the scan can fail independently of
+// the message — the optional injector models that backend (target "av").
 type Antivirus struct {
 	signatures []string
+
+	mu  sync.Mutex
+	inj faults.Injector
 }
 
 // EICAR is the standard antivirus test signature; included by default.
@@ -75,14 +119,36 @@ func NewAntivirus(signatures ...string) *Antivirus {
 // Name implements Filter.
 func (a *Antivirus) Name() string { return "antivirus" }
 
+// SetInjector installs a fault source for the scanner backend.
+func (a *Antivirus) SetInjector(inj faults.Injector) {
+	a.mu.Lock()
+	a.inj = inj
+	a.mu.Unlock()
+}
+
 // Check implements Filter: Drop if any signature occurs in the body.
 func (a *Antivirus) Check(msg *mail.Message) Result {
-	for _, sig := range a.signatures {
-		if strings.Contains(msg.Body, sig) {
-			return Result{Drop, "virus signature " + truncate(sig, 24)}
+	r, _ := a.Probe(msg)
+	return r
+}
+
+// Probe implements Prober: an injected scanner-backend fault is an
+// infrastructure error; otherwise scan the body.
+func (a *Antivirus) Probe(msg *mail.Message) (Result, error) {
+	a.mu.Lock()
+	inj := a.inj
+	a.mu.Unlock()
+	if inj != nil {
+		if d := inj.Decide("av", 0); d.Err != nil {
+			return Result{}, fmt.Errorf("antivirus: scanner backend: %w", d.Err)
 		}
 	}
-	return Result{Verdict: Pass}
+	for _, sig := range a.signatures {
+		if strings.Contains(msg.Body, sig) {
+			return Result{Drop, "virus signature " + truncate(sig, 24)}, nil
+		}
+	}
+	return Result{Verdict: Pass}, nil
 }
 
 func truncate(s string, n int) string {
@@ -108,7 +174,9 @@ func NewReverseDNS(r dnssim.Resolver) *ReverseDNS {
 // Name implements Filter.
 func (f *ReverseDNS) Name() string { return "reverse-dns" }
 
-// Check implements Filter.
+// Check implements Filter. Any lookup failure drops — the historical
+// (unhardened) behaviour, where a resolver outage silently turns into
+// "no PTR". Hardened chains use Probe instead.
 func (f *ReverseDNS) Check(msg *mail.Message) Result {
 	if msg.ClientIP == "" {
 		return Result{Drop, "no client IP"}
@@ -117,6 +185,22 @@ func (f *ReverseDNS) Check(msg *mail.Message) Result {
 		return Result{Drop, "no PTR for " + msg.ClientIP}
 	}
 	return Result{Verdict: Pass}
+}
+
+// Probe implements Prober: an authoritative NXDOMAIN drops, while a
+// temporary resolver failure is an infrastructure error left to the
+// degradation policy.
+func (f *ReverseDNS) Probe(msg *mail.Message) (Result, error) {
+	if msg.ClientIP == "" {
+		return Result{Drop, "no client IP"}, nil
+	}
+	if _, err := f.resolver.LookupPTR(msg.ClientIP); err != nil {
+		if dnssim.IsTemporary(err) {
+			return Result{}, err
+		}
+		return Result{Drop, "no PTR for " + msg.ClientIP}, nil
+	}
+	return Result{Verdict: Pass}, nil
 }
 
 // RBL drops messages whose client IP is listed on the configured
@@ -135,10 +219,24 @@ func (f *RBL) Name() string { return "rbl" }
 
 // Check implements Filter.
 func (f *RBL) Check(msg *mail.Message) Result {
-	if msg.ClientIP != "" && f.provider.IsListed(msg.ClientIP) {
-		return Result{Drop, "listed on " + f.provider.Name()}
+	r, _ := f.Probe(msg)
+	return r
+}
+
+// Probe implements Prober, using the provider's fallible Query path so a
+// provider outage surfaces as an error instead of a silent "not listed".
+func (f *RBL) Probe(msg *mail.Message) (Result, error) {
+	if msg.ClientIP == "" {
+		return Result{Verdict: Pass}, nil
 	}
-	return Result{Verdict: Pass}
+	listed, err := f.provider.Query(msg.ClientIP)
+	if err != nil {
+		return Result{}, err
+	}
+	if listed {
+		return Result{Drop, "listed on " + f.provider.Name()}, nil
+	}
+	return Result{Verdict: Pass}, nil
 }
 
 // SPF drops messages whose envelope sender domain publishes an SPF policy
@@ -160,28 +258,153 @@ func (f *SPF) Name() string { return "spf" }
 
 // Check implements Filter.
 func (f *SPF) Check(msg *mail.Message) Result {
+	r, _ := f.Probe(msg)
+	return r
+}
+
+// Probe implements Prober: TempError (a DNS lookup failed transiently)
+// is an infrastructure error; every other non-Fail result passes, as in
+// the paper's conservative deployment.
+func (f *SPF) Probe(msg *mail.Message) (Result, error) {
 	if msg.EnvelopeFrom.IsNull() {
-		return Result{Verdict: Pass} // bounces have no sender domain to check
+		return Result{Verdict: Pass}, nil // bounces have no sender domain to check
 	}
-	if f.checker.Check(msg.ClientIP, msg.EnvelopeFrom.Domain) == spf.Fail {
-		return Result{Drop, "SPF fail for " + msg.EnvelopeFrom.Domain}
+	switch f.checker.Check(msg.ClientIP, msg.EnvelopeFrom.Domain) {
+	case spf.Fail:
+		return Result{Drop, "SPF fail for " + msg.EnvelopeFrom.Domain}, nil
+	case spf.TempError:
+		return Result{}, fmt.Errorf("spf: %w for %s", dnssim.ErrTimeout, msg.EnvelopeFrom.Domain)
+	default:
+		return Result{Verdict: Pass}, nil
 	}
-	return Result{Verdict: Pass}
+}
+
+// Hardened wraps a Prober with the full degradation path: a circuit
+// breaker guarding the dependency, bounded retries with jittered backoff
+// for transient errors, and an explicit DegradeMode for when both give
+// up. It is safe for concurrent use.
+type Hardened struct {
+	inner   Prober
+	mode    DegradeMode
+	breaker *resilience.Breaker
+	retrier *resilience.Retrier
+
+	mu       sync.Mutex
+	degraded int64
+}
+
+// HardenOpts parameterises Harden. Zero values get sensible defaults.
+type HardenOpts struct {
+	// Breaker guards the dependency; nil builds one from
+	// resilience.DefaultBreakerConfig (requires Clock).
+	Breaker *resilience.Breaker
+	// Retrier bounds in-line retries; nil builds a 3-attempt retrier
+	// with the default backoff and no sleeping (safe in simulation).
+	Retrier *resilience.Retrier
+	// Seed seeds the default retrier's jitter source.
+	Seed int64
+}
+
+// Harden wraps inner with the given degradation policy.
+func Harden(inner Prober, mode DegradeMode, opts HardenOpts) *Hardened {
+	br := opts.Breaker
+	rt := opts.Retrier
+	if rt == nil {
+		rt = resilience.NewRetrier(3, resilience.DefaultBackoff(), opts.Seed)
+	}
+	return &Hardened{inner: inner, mode: mode, breaker: br, retrier: rt}
+}
+
+// Name implements Filter (the wrapper is transparent in reports).
+func (h *Hardened) Name() string { return h.inner.Name() }
+
+// Mode returns the configured degradation policy.
+func (h *Hardened) Mode() DegradeMode { return h.mode }
+
+// Degraded returns how many checks fell back to the degradation policy.
+func (h *Hardened) Degraded() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.degraded
+}
+
+// Breaker returns the guarding breaker (nil if none).
+func (h *Hardened) Breaker() *resilience.Breaker { return h.breaker }
+
+// Check implements Filter, resolving degradation per the policy.
+func (h *Hardened) Check(msg *mail.Message) Result {
+	r, _ := h.Run(msg)
+	return r
+}
+
+// Probe implements Prober by delegating to the wrapped filter's single
+// (unguarded) probe; the guarded path is Run.
+func (h *Hardened) Probe(msg *mail.Message) (Result, error) { return h.inner.Probe(msg) }
+
+// Run evaluates the filter behind the breaker and retrier. degraded is
+// true when the dependency stayed unavailable and the returned Result is
+// the policy's fallback (Pass for FailOpen, Drop for FailClosed).
+func (h *Hardened) Run(msg *mail.Message) (r Result, degraded bool) {
+	if h.breaker != nil && !h.breaker.Allow() {
+		return h.fallback(), true
+	}
+	err := h.retrier.Do(func() error {
+		var perr error
+		r, perr = h.inner.Probe(msg)
+		return perr
+	})
+	if h.breaker != nil {
+		h.breaker.Record(err)
+	}
+	if err != nil {
+		return h.fallback(), true
+	}
+	return r, false
+}
+
+// fallback returns the degraded-mode result and counts it.
+func (h *Hardened) fallback() Result {
+	h.mu.Lock()
+	h.degraded++
+	h.mu.Unlock()
+	if h.mode == FailClosed {
+		return Result{Drop, h.inner.Name() + " unavailable (fail-closed)"}
+	}
+	return Result{Pass, h.inner.Name() + " unavailable (fail-open)"}
+}
+
+// Degradation records one filter falling back to its policy while
+// evaluating a message.
+type Degradation struct {
+	Filter string
+	Mode   DegradeMode
+}
+
+// Outcome is the full result of running a message through a Chain.
+type Outcome struct {
+	Result Result
+	// DroppedBy names the dropping filter ("" if the message passed).
+	DroppedBy string
+	// Degraded lists every filter that fell back to its degradation
+	// policy for this message, in evaluation order.
+	Degraded []Degradation
 }
 
 // Chain runs filters in order, stopping at the first Drop, and keeps
-// per-filter pass/drop counters. It is safe for concurrent use.
+// per-filter pass/drop/degradation counters. It is safe for concurrent
+// use.
 type Chain struct {
 	filters []Filter
 
-	mu     sync.Mutex
-	passed int64
-	drops  map[string]int64
+	mu       sync.Mutex
+	passed   int64
+	drops    map[string]int64
+	degraded map[string]int64
 }
 
 // NewChain builds a chain over the given filters, evaluated in order.
 func NewChain(fs ...Filter) *Chain {
-	return &Chain{filters: fs, drops: make(map[string]int64)}
+	return &Chain{filters: fs, drops: make(map[string]int64), degraded: make(map[string]int64)}
 }
 
 // Names returns the filter names in evaluation order.
@@ -196,18 +419,43 @@ func (c *Chain) Names() []string {
 // Check runs msg through the chain. The returned name is the filter that
 // dropped it ("" when the message passed every filter).
 func (c *Chain) Check(msg *mail.Message) (Result, string) {
+	o := c.Run(msg)
+	return o.Result, o.DroppedBy
+}
+
+// Run evaluates msg against every filter in order, short-circuiting on
+// the first Drop, and reports any degradation that occurred. Hardened
+// filters go through their guarded path; bare filters use Check.
+func (c *Chain) Run(msg *mail.Message) Outcome {
+	var out Outcome
 	for _, f := range c.filters {
-		if r := f.Check(msg); r.Verdict == Drop {
+		var r Result
+		if h, ok := f.(*Hardened); ok {
+			var deg bool
+			r, deg = h.Run(msg)
+			if deg {
+				out.Degraded = append(out.Degraded, Degradation{Filter: h.Name(), Mode: h.Mode()})
+				c.mu.Lock()
+				c.degraded[h.Name()]++
+				c.mu.Unlock()
+			}
+		} else {
+			r = f.Check(msg)
+		}
+		if r.Verdict == Drop {
 			c.mu.Lock()
 			c.drops[f.Name()]++
 			c.mu.Unlock()
-			return r, f.Name()
+			out.Result = r
+			out.DroppedBy = f.Name()
+			return out
 		}
 	}
 	c.mu.Lock()
 	c.passed++
 	c.mu.Unlock()
-	return Result{Verdict: Pass}, ""
+	out.Result = Result{Verdict: Pass}
+	return out
 }
 
 // Stats returns (messages passed, drops per filter name).
@@ -219,6 +467,18 @@ func (c *Chain) Stats() (passed int64, drops map[string]int64) {
 		out[k] = v
 	}
 	return c.passed, out
+}
+
+// DegradedStats returns, per filter name, how many evaluations fell back
+// to the filter's degradation policy.
+func (c *Chain) DegradedStats() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.degraded))
+	for k, v := range c.degraded {
+		out[k] = v
+	}
+	return out
 }
 
 // TotalDropped returns the total number of messages dropped by any filter.

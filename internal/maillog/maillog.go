@@ -46,6 +46,9 @@ const (
 	KindWebVisit Kind = "web-visit"
 	// KindWebSolve: the CAPTCHA was solved (web access log).
 	KindWebSolve Kind = "web-solve"
+	// KindDegraded: a dependency was unavailable and a component fell
+	// back to its degradation policy (fields: component, mode, action).
+	KindDegraded Kind = "degraded"
 )
 
 // Event is one structured log record.
@@ -182,6 +185,7 @@ type CompanyAggregate struct {
 	WebVisits   int64
 	WebSolves   int64
 	InBytes     int64
+	Degraded    map[string]int64 // degraded-mode fallbacks, by component
 }
 
 func newCompanyAggregate() *CompanyAggregate {
@@ -190,6 +194,7 @@ func newCompanyAggregate() *CompanyAggregate {
 		Spools:      make(map[string]int64),
 		FilterDrops: make(map[string]int64),
 		Deliveries:  make(map[string]int64),
+		Degraded:    make(map[string]int64),
 	}
 }
 
@@ -250,6 +255,8 @@ func (a *Aggregate) Add(e Event) {
 			c.WebVisits++
 		case KindWebSolve:
 			c.WebSolves++
+		case KindDegraded:
+			c.Degraded[e.Fields["component"]]++
 		}
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/mail"
 	"repro/internal/smtp"
 )
@@ -50,12 +51,30 @@ func (s Status) String() string {
 	}
 }
 
+// ErrClass classifies the failure recorded in Item.LastError, so an
+// expired item shows which error class exhausted its retries.
+type ErrClass string
+
+// Error classes.
+const (
+	// ClassNone: no failure recorded yet.
+	ClassNone ErrClass = ""
+	// ClassTempfail: the smarthost answered 4xx (transient rejection).
+	ClassTempfail ErrClass = "tempfail"
+	// ClassPermfail: the smarthost answered 5xx (permanent rejection).
+	ClassPermfail ErrClass = "permfail"
+	// ClassConnection: the session itself failed (dial, I/O, injected
+	// outage) before an SMTP verdict was reached.
+	ClassConnection ErrClass = "connection"
+)
+
 // Item is one queued challenge with its delivery state.
 type Item struct {
 	Challenge core.OutboundChallenge
 	Status    Status
 	Attempts  int
 	LastError string
+	LastClass ErrClass
 	NextTry   time.Time
 }
 
@@ -72,6 +91,13 @@ type Config struct {
 	// RetrySchedule are the waits between attempts; when exhausted the
 	// item expires. Defaults to a conventional backoff.
 	RetrySchedule []time.Duration
+	// MaxAttempts caps delivery attempts per item regardless of the
+	// schedule length; 0 means len(RetrySchedule)+1.
+	MaxAttempts int
+	// Injector is an optional fault source consulted on the smarthost
+	// path (target "smarthost"): outage/timeout/error faults fail the
+	// session, tempfail faults synthesize a 421 per item.
+	Injector faults.Injector
 	// Now supplies timestamps; nil = time.Now.
 	Now func() time.Time
 }
@@ -100,6 +126,9 @@ func NewQueue(cfg Config) *Queue {
 	}
 	if len(cfg.RetrySchedule) == 0 {
 		cfg.RetrySchedule = DefaultRetrySchedule
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = len(cfg.RetrySchedule) + 1
 	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
@@ -157,6 +186,13 @@ func (q *Queue) Flush() (terminal int, err error) {
 		return 0, nil
 	}
 
+	if inj := q.cfg.Injector; inj != nil {
+		// Session-level faults surface before the dial; per-item tempfail
+		// storms are decided inside the delivery loop.
+		if d := inj.Decide("smarthost", 0); d.Err != nil && d.Kind != faults.KindTempfail {
+			return 0, fmt.Errorf("outbound: dial smarthost: %w", d.Err)
+		}
+	}
 	client, err := q.cfg.Dial()
 	if err != nil {
 		return 0, fmt.Errorf("outbound: dial smarthost: %w", err)
@@ -167,7 +203,17 @@ func (q *Queue) Flush() (terminal int, err error) {
 	}
 
 	for _, it := range due {
-		sendErr := client.SendMail(it.Challenge.From, []mail.Address{it.Challenge.To}, RenderChallenge(it.Challenge))
+		var sendErr error
+		if inj := q.cfg.Injector; inj != nil {
+			if d := inj.Decide("smarthost", 0); d.Kind == faults.KindTempfail {
+				sendErr = &smtp.Reply{Code: 421, Text: "service temporarily unavailable"}
+			} else if d.Err != nil {
+				sendErr = d.Err
+			}
+		}
+		if sendErr == nil {
+			sendErr = client.SendMail(it.Challenge.From, []mail.Address{it.Challenge.To}, RenderChallenge(it.Challenge))
+		}
 		q.mu.Lock()
 		it.Attempts++
 		switch e := sendErr.(type) {
@@ -175,13 +221,16 @@ func (q *Queue) Flush() (terminal int, err error) {
 			it.Status = StatusSent
 			terminal++
 		case *smtp.Reply:
-			it.LastError = e.Error()
 			if e.Temporary() {
+				it.LastClass = ClassTempfail
+				it.LastError = string(ClassTempfail) + ": " + e.Error()
 				q.rescheduleLocked(it, now)
 				if it.Status == StatusExpired {
 					terminal++
 				}
 			} else {
+				it.LastClass = ClassPermfail
+				it.LastError = string(ClassPermfail) + ": " + e.Error()
 				it.Status = StatusBounced
 				terminal++
 			}
@@ -192,7 +241,8 @@ func (q *Queue) Flush() (terminal int, err error) {
 			q.mu.Lock()
 		default:
 			// Connection-level failure: stop the session, retry later.
-			it.LastError = sendErr.Error()
+			it.LastClass = ClassConnection
+			it.LastError = string(ClassConnection) + ": " + sendErr.Error()
 			q.rescheduleLocked(it, now)
 			if it.Status == StatusExpired {
 				terminal++
@@ -209,7 +259,7 @@ func (q *Queue) Flush() (terminal int, err error) {
 // rescheduleLocked applies the retry schedule. Caller holds q.mu.
 func (q *Queue) rescheduleLocked(it *Item, now time.Time) {
 	idx := it.Attempts - 1
-	if idx >= len(q.cfg.RetrySchedule) {
+	if it.Attempts >= q.cfg.MaxAttempts || idx >= len(q.cfg.RetrySchedule) {
 		it.Status = StatusExpired
 		return
 	}
@@ -223,6 +273,20 @@ func (q *Queue) Stats() map[Status]int {
 	out := make(map[Status]int)
 	for _, it := range q.items {
 		out[it.Status]++
+	}
+	return out
+}
+
+// ErrorClasses counts items per last-recorded error class, skipping
+// items that never failed.
+func (q *Queue) ErrorClasses() map[ErrClass]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[ErrClass]int)
+	for _, it := range q.items {
+		if it.LastClass != ClassNone {
+			out[it.LastClass]++
+		}
 	}
 	return out
 }

@@ -8,7 +8,9 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/mail"
 	"repro/internal/smtp"
 )
@@ -231,5 +233,137 @@ func TestStatusString(t *testing.T) {
 		if s.String() != want {
 			t.Errorf("Status(%d) = %q, want %q", int(s), s.String(), want)
 		}
+	}
+}
+
+func TestErrorClassesDistinguished(t *testing.T) {
+	sh, addr := startSmarthost(t)
+	sh.tempFail["busy@example.com"] = true
+	sh.permFail["ghost@example.com"] = true
+	q := newQueue(addr)
+	q.Enqueue(challengeTo("busy@example.com"))
+	q.Enqueue(challengeTo("ghost@example.com"))
+	q.Enqueue(challengeTo("fine@example.com"))
+
+	if _, err := q.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range q.Items() {
+		switch it.Challenge.To.Local {
+		case "busy":
+			if it.LastClass != ClassTempfail || !strings.HasPrefix(it.LastError, "tempfail: 451") {
+				t.Errorf("tempfail item: class=%q err=%q", it.LastClass, it.LastError)
+			}
+		case "ghost":
+			if it.LastClass != ClassPermfail || !strings.HasPrefix(it.LastError, "permfail: 550") {
+				t.Errorf("permfail item: class=%q err=%q", it.LastClass, it.LastError)
+			}
+		case "fine":
+			if it.LastClass != ClassNone || it.LastError != "" {
+				t.Errorf("clean item: class=%q err=%q", it.LastClass, it.LastError)
+			}
+		}
+	}
+	classes := q.ErrorClasses()
+	if classes[ClassTempfail] != 1 || classes[ClassPermfail] != 1 || len(classes) != 2 {
+		t.Errorf("ErrorClasses = %v", classes)
+	}
+}
+
+func TestExpiredItemRecordsExhaustingClass(t *testing.T) {
+	sh, addr := startSmarthost(t)
+	sh.tempFail["busy@example.com"] = true
+	now := time.Date(2010, 7, 1, 0, 0, 0, 0, time.UTC)
+	q := NewQueue(Config{
+		Dial:          func() (*smtp.Client, error) { return smtp.Dial(addr, 2*time.Second) },
+		HeloDomain:    "cr.corp.example",
+		RetrySchedule: []time.Duration{time.Minute},
+		Now:           func() time.Time { return now },
+	})
+	q.Enqueue(challengeTo("busy@example.com"))
+	if _, err := q.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(2 * time.Minute)
+	if _, err := q.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	it := q.Items()[0]
+	if it.Status != StatusExpired {
+		t.Fatalf("status = %v, want expired", it.Status)
+	}
+	if it.LastClass != ClassTempfail || !strings.HasPrefix(it.LastError, "tempfail:") {
+		t.Errorf("expired item lost its error class: class=%q err=%q", it.LastClass, it.LastError)
+	}
+}
+
+func TestMaxAttemptsCapsRetrySchedule(t *testing.T) {
+	sh, addr := startSmarthost(t)
+	sh.tempFail["busy@example.com"] = true
+	now := time.Date(2010, 7, 1, 0, 0, 0, 0, time.UTC)
+	q := NewQueue(Config{
+		Dial:          func() (*smtp.Client, error) { return smtp.Dial(addr, 2*time.Second) },
+		HeloDomain:    "cr.corp.example",
+		RetrySchedule: []time.Duration{time.Minute, time.Minute, time.Minute, time.Minute},
+		MaxAttempts:   2,
+		Now:           func() time.Time { return now },
+	})
+	q.Enqueue(challengeTo("busy@example.com"))
+	for i := 0; i < 5; i++ {
+		if _, err := q.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		now = now.Add(2 * time.Minute)
+	}
+	it := q.Items()[0]
+	if it.Status != StatusExpired || it.Attempts != 2 {
+		t.Fatalf("status=%v attempts=%d, want expired after 2", it.Status, it.Attempts)
+	}
+}
+
+func TestInjectedTempfailStorm(t *testing.T) {
+	sh, addr := startSmarthost(t)
+	inj := faults.New(&faults.Plan{Rules: []faults.Rule{
+		{Target: "smarthost", Kind: faults.KindTempfail},
+	}}, 1, clock.Real{})
+	q := NewQueue(Config{
+		Dial:       func() (*smtp.Client, error) { return smtp.Dial(addr, 2*time.Second) },
+		HeloDomain: "cr.corp.example",
+		Injector:   inj,
+	})
+	q.Enqueue(challengeTo("alice@example.com"))
+	if _, err := q.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	it := q.Items()[0]
+	if it.Status != StatusQueued || it.LastClass != ClassTempfail || !strings.HasPrefix(it.LastError, "tempfail: 421") {
+		t.Fatalf("injected tempfail: status=%v class=%q err=%q", it.Status, it.LastClass, it.LastError)
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if len(sh.accepted) != 0 {
+		t.Fatalf("smarthost accepted %d messages during a 100%% tempfail storm", len(sh.accepted))
+	}
+}
+
+func TestInjectedOutageFailsBeforeDial(t *testing.T) {
+	inj := faults.New(&faults.Plan{Rules: []faults.Rule{
+		{Target: "smarthost", Kind: faults.KindOutage},
+	}}, 1, clock.Real{})
+	dialed := false
+	q := NewQueue(Config{
+		Dial:       func() (*smtp.Client, error) { dialed = true; return nil, errors.New("unreachable") },
+		HeloDomain: "cr.corp.example",
+		Injector:   inj,
+	})
+	q.Enqueue(challengeTo("alice@example.com"))
+	if _, err := q.Flush(); err == nil {
+		t.Fatal("injected outage not reported")
+	}
+	if dialed {
+		t.Fatal("dial attempted during injected outage")
+	}
+	if q.Stats()[StatusQueued] != 1 {
+		t.Fatalf("stats = %v", q.Stats())
 	}
 }

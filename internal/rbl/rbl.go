@@ -20,11 +20,13 @@
 package rbl
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/faults"
 	"repro/internal/mail"
 )
 
@@ -47,6 +49,10 @@ func DefaultPolicy() Policy {
 	return Policy{HitThreshold: 3, Window: 24 * time.Hour, ListingTTL: 72 * time.Hour}
 }
 
+// DefaultQueryTimeout is the per-query deadline injected latency is
+// compared against on the Query path.
+const DefaultQueryTimeout = 3 * time.Second
+
 // Provider is one simulated DNS blocklist. It is safe for concurrent use.
 type Provider struct {
 	name   string
@@ -54,10 +60,12 @@ type Provider struct {
 	clk    clock.Clock
 
 	mu       sync.Mutex
+	inj      faults.Injector        // optional fault source for Query
 	hits     map[string][]time.Time // recent trap hits per IP
 	listings map[string]time.Time   // IP -> listed-until
 	manual   map[string]bool        // permanently listed (known spammers)
 	history  map[string][]Interval  // completed + open listing intervals
+	stale    int64                  // queries answered from "stale" data
 }
 
 // Interval is a half-open listing period; Until is zero while still listed.
@@ -81,6 +89,48 @@ func NewProvider(name string, policy Policy, clk clock.Clock) *Provider {
 
 // Name returns the provider's name.
 func (p *Provider) Name() string { return p.name }
+
+// SetInjector installs a fault injector consulted on the Query path
+// (target "rbl:<name>"). IsListed — the ground-truth view used by remote
+// servers screening their own inbound mail — is deliberately unaffected:
+// faults model the CR installation's lookup channel, not the listing
+// database itself. Pass nil to clear.
+func (p *Provider) SetInjector(inj faults.Injector) {
+	p.mu.Lock()
+	p.inj = inj
+	p.mu.Unlock()
+}
+
+// Query is the fallible lookup the CR filter chain uses: it consults the
+// injector and returns an error for an injected outage/timeout, a stale
+// (always-unlisted) answer for KindStale, and the true listing state
+// otherwise.
+func (p *Provider) Query(ip string) (bool, error) {
+	p.mu.Lock()
+	inj := p.inj
+	p.mu.Unlock()
+	if inj != nil {
+		d := inj.Decide("rbl:"+p.name, DefaultQueryTimeout)
+		if d.Err != nil {
+			return false, fmt.Errorf("rbl: %s query: %w", p.name, d.Err)
+		}
+		if d.Kind == faults.KindStale {
+			p.mu.Lock()
+			p.stale++
+			p.mu.Unlock()
+			return false, nil
+		}
+	}
+	return p.IsListed(ip), nil
+}
+
+// StaleAnswers returns how many queries were served from injected stale
+// data (and therefore silently answered "not listed").
+func (p *Provider) StaleAnswers() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stale
+}
 
 // AddStatic permanently lists ip — used to seed the providers with the
 // "known spammer" population that the product's RBL filter catches.

@@ -17,8 +17,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/whitelist"
 )
 
@@ -91,6 +93,53 @@ func SaveFile(path, name string, wl *whitelist.Store, now time.Time) error {
 		return fmt.Errorf("store: rename: %w", err)
 	}
 	return nil
+}
+
+// Saver persists periodic snapshots to one path, optionally guarded by
+// a fault injector (target "store"): an injected write error aborts the
+// save before any bytes hit disk, so the previous snapshot stays intact
+// — the failure mode the atomic temp-file+rename protocol exists for.
+type Saver struct {
+	// Path is the snapshot file; required.
+	Path string
+	// Name labels the snapshot (installation name).
+	Name string
+	// Injector is an optional fault source for the save path.
+	Injector faults.Injector
+
+	mu       sync.Mutex
+	attempts int64
+	failed   int64
+}
+
+// Save writes one snapshot, consulting the injector first.
+func (s *Saver) Save(wl *whitelist.Store, now time.Time) error {
+	s.mu.Lock()
+	s.attempts++
+	inj := s.Injector
+	s.mu.Unlock()
+	if inj != nil {
+		if d := inj.Decide("store", 0); d.Err != nil {
+			s.mu.Lock()
+			s.failed++
+			s.mu.Unlock()
+			return fmt.Errorf("store: save %s: %w", s.Path, d.Err)
+		}
+	}
+	if err := SaveFile(s.Path, s.Name, wl, now); err != nil {
+		s.mu.Lock()
+		s.failed++
+		s.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// Stats returns how many saves were attempted and how many failed.
+func (s *Saver) Stats() (attempts, failed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.attempts, s.failed
 }
 
 // LoadFile reads a snapshot file into wl. A missing file is not an

@@ -10,11 +10,13 @@ import (
 	"repro/internal/core"
 	"repro/internal/digest"
 	"repro/internal/dnssim"
+	"repro/internal/faults"
 	"repro/internal/filters"
 	"repro/internal/greylist"
 	"repro/internal/mail"
 	"repro/internal/maillog"
 	"repro/internal/rbl"
+	"repro/internal/resilience"
 	"repro/internal/simnet"
 	"repro/internal/spf"
 	"repro/internal/trace"
@@ -78,6 +80,12 @@ type Config struct {
 	// User behaviour.
 	DigestAuthorizeProb float64 // authorize a wanted pending message
 	DigestDeleteProb    float64 // delete an unwanted pending message
+
+	// FaultPlan, when non-nil, activates the internal/faults injection
+	// layer across the simulated infrastructure: the DNS resolver, every
+	// blocklist provider, and the scanner backends all consult one seeded
+	// injector, so a run under faults is exactly reproducible.
+	FaultPlan *faults.Plan
 
 	// Measurement.
 	CheckerPeriod time.Duration // §5.1 blacklist polling period
@@ -154,6 +162,8 @@ type Fleet struct {
 	Digests   *digest.Book
 	Companies []*simnet.Company
 	Start     time.Time
+	// Injector is the active fault source (nil without Config.FaultPlan).
+	Injector *faults.Set
 
 	rng        *rand.Rand
 	profiles   map[string]CompanyProfile
@@ -216,6 +226,13 @@ func NewFleet(cfg Config) *Fleet {
 	f.Net = simnet.New(f.Clk, f.Sched, f.DNS, f.Providers, f.Traps, simnet.Config{Seed: cfg.Seed + 1})
 	f.Checker = rbl.NewChecker(f.Providers...)
 	f.Digests = digest.NewBook()
+	if cfg.FaultPlan != nil {
+		f.Injector = faults.New(cfg.FaultPlan, cfg.Seed+77, f.Clk)
+		f.DNS.SetInjector(f.Injector)
+		for _, p := range f.Providers {
+			p.SetInjector(f.Injector)
+		}
+	}
 
 	f.buildWorld()
 	f.buildCampaigns()
@@ -478,13 +495,29 @@ func (f *Fleet) buildCompanies() {
 			mailIP = fmt.Sprintf("198.51.100.%d", 2+i*2)
 		}
 
+		av := filters.NewAntivirus()
+		if f.Injector != nil {
+			av.SetInjector(f.Injector)
+		}
+		// Every auxiliary filter runs behind a breaker + retrier with an
+		// explicit degradation policy: the scan fails closed (unscanned
+		// mail is held), the advisory lookups fail open (an outage must
+		// not silently drop real mail). Without a fault plan the probes
+		// never fail, so the hardened chain behaves identically.
+		seed := f.Cfg.Seed + int64(i)*7919
+		harden := func(pr filters.Prober, mode filters.DegradeMode, n int64) filters.Filter {
+			return filters.Harden(pr, mode, filters.HardenOpts{
+				Breaker: resilience.NewBreaker(p.Name+"/"+pr.Name(), resilience.DefaultBreakerConfig(), f.Clk),
+				Seed:    seed + n,
+			})
+		}
 		chainFilters := []filters.Filter{
-			filters.NewAntivirus(),
-			filters.NewReverseDNS(f.DNS),
-			filters.NewRBL(f.filterProvider()),
+			harden(av, filters.FailClosed, 1),
+			harden(filters.NewReverseDNS(f.DNS), filters.FailOpen, 2),
+			harden(filters.NewRBL(f.filterProvider()), filters.FailOpen, 3),
 		}
 		if f.Cfg.UseSPFFilter {
-			chainFilters = append(chainFilters, filters.NewSPF(spf.New(f.DNS)))
+			chainFilters = append(chainFilters, harden(filters.NewSPF(spf.New(f.DNS)), filters.FailOpen, 4))
 		}
 		chain := filters.NewChain(chainFilters...)
 		wl := whitelist.NewStore(f.Clk)
