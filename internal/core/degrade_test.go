@@ -10,6 +10,7 @@ import (
 	"repro/internal/filters"
 	"repro/internal/mail"
 	"repro/internal/maillog"
+	"repro/internal/rbl"
 	"repro/internal/whitelist"
 )
 
@@ -111,5 +112,59 @@ func TestDNSRetriesAbsorbTransientFault(t *testing.T) {
 	// most messages resolve within the retry budget.
 	if degraded >= 25 {
 		t.Fatalf("retries absorbed nothing: %d/50 degraded", degraded)
+	}
+}
+
+// TestMetricsSnapshotConcurrentWithDegradedWrites guards the Metrics()
+// deep copy: the snapshot's FilterDegraded map must not alias the live
+// map, or an HTTP goroutine iterating it races with Receive()
+// incrementing it (caught under -race).
+func TestMetricsSnapshotConcurrentWithDegradedWrites(t *testing.T) {
+	clk := clock.NewSim(t0)
+	dns := dnssim.NewServer()
+	prov := rbl.NewProvider("spamhaus", rbl.DefaultPolicy(), clk)
+	prov.SetInjector(faults.New(&faults.Plan{Rules: []faults.Rule{
+		{Target: "rbl:*", Kind: faults.KindOutage},
+	}}, 1, clk))
+	chain := filters.NewChain(
+		filters.Harden(filters.NewRBL(prov), filters.FailOpen, filters.HardenOpts{}),
+	)
+	eng := New(Config{
+		Name:             "corp",
+		Domains:          []string{"corp.example"},
+		QuarantineTTL:    30 * 24 * time.Hour,
+		ChallengeFrom:    mail.MustParseAddress("challenge@corp.example"),
+		ChallengeBaseURL: "http://cr.corp.example",
+	}, clk, dns, chain, whitelist.NewStore(clk), func(OutboundChallenge) {})
+	eng.AddUser(mail.MustParseAddress("bob@corp.example"))
+	dns.RegisterMailDomain("example.com", "192.0.2.10")
+
+	const n = 200
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			m := &mail.Message{
+				ID:           mail.NewID("m"),
+				EnvelopeFrom: mail.MustParseAddress("alice@example.com"),
+				Rcpt:         mail.MustParseAddress("bob@corp.example"),
+				Subject:      "subject",
+				Size:         1000,
+				ClientIP:     "192.0.2.10",
+				Received:     clk.Now(),
+			}
+			eng.Receive(m)
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			if got := eng.Metrics().FilterDegraded["rbl"]; got != n {
+				t.Fatalf("FilterDegraded[rbl] = %d, want %d", got, n)
+			}
+			return
+		default:
+			_ = eng.Metrics().TotalFilterDegraded()
+		}
 	}
 }

@@ -256,10 +256,13 @@ type Metrics struct {
 	// which the filter's dependency was unavailable and its degradation
 	// policy decided the outcome.
 	FilterDegraded map[string]int64
-	// MTADegradedAccept counts messages accepted because the sender
-	// domain's resolvability could not be determined (resolver failure)
-	// under a fail-open DNSDegrade policy; MTADegradedDrop counts the
-	// fail-closed mirror (reported as Unresolvable drops as well).
+	// MTADegradedAccept counts messages that cleared every MTA-IN check
+	// although the sender domain's resolvability could not be determined
+	// (resolver failure) under a fail-open DNSDegrade policy;
+	// MTADegradedDrop counts the fail-closed mirror (reported as
+	// Unresolvable drops as well). A message whose resolvability was
+	// waived but that a later MTA check rejected counts in neither (its
+	// maillog degraded event carries action "waived").
 	MTADegradedAccept int64
 	MTADegradedDrop   int64
 
@@ -555,15 +558,20 @@ func (e *Engine) Receive(msg *mail.Message) MTAReason {
 
 	r, degraded := e.checkMTAIn(msg)
 	if degraded {
-		action := "accept"
-		if r == Unresolvable {
-			action = "drop"
-		}
+		var action string
 		e.mu.Lock()
-		if r == Unresolvable {
+		switch r {
+		case Unresolvable:
+			action = "drop"
 			e.m.MTADegradedDrop++
-		} else {
+		case Accepted:
+			action = "accept"
 			e.m.MTADegradedAccept++
+		default:
+			// Resolvability was waived fail-open, but a later MTA-IN check
+			// (relay policy, rejected sender, unknown recipient) rejected
+			// the message anyway — not a degraded accept.
+			action = "waived"
 		}
 		e.mu.Unlock()
 		e.emit(maillog.KindDegraded, msg.ID,
@@ -903,6 +911,7 @@ func (e *Engine) Metrics() Metrics {
 	m := e.m
 	m.MTADropped = copyMap(e.m.MTADropped)
 	m.FilterDropped = copyMap(e.m.FilterDropped)
+	m.FilterDegraded = copyMap(e.m.FilterDegraded)
 	m.Delivered = copyMapVia(e.m.Delivered)
 	e.mu.Unlock()
 	return m

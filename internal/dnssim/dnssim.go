@@ -85,6 +85,10 @@ type Stats struct {
 	Queries  int64
 	NXDomain int64
 	Timeouts int64
+	// Outages counts injected hard outages (faults.KindOutage), kept
+	// separate from Timeouts so a chaos report can tell "the nameserver
+	// is down" from "the nameserver is slow".
+	Outages int64
 }
 
 // NewServer returns an empty DNS server.
@@ -98,9 +102,10 @@ func NewServer() *Server {
 }
 
 // SetInjector installs a fault injector consulted (target "dns") on every
-// lookup; injected timeouts/outages surface as ErrTimeout-class errors,
-// and injected latency at or above the query timeout becomes a timeout.
-// Pass nil to clear.
+// lookup. Injected timeouts (and latency at or above the query timeout)
+// surface as ErrTimeout-class errors; injected outages keep their own
+// identity (faults.ErrOutage, counted in Stats.Outages). Both are
+// temporary per IsTemporary. Pass nil to clear.
 func (s *Server) SetInjector(inj faults.Injector) {
 	s.mu.Lock()
 	s.inj = inj
@@ -122,11 +127,15 @@ func (s *Server) inject() error {
 		return nil
 	}
 	d := s.inj.Decide("dns", s.timeout)
-	if d.Err != nil {
-		s.stats.Timeouts++
-		return fmt.Errorf("%w: %v", ErrTimeout, d.Err)
+	if d.Err == nil {
+		return nil
 	}
-	return nil
+	if d.Kind == faults.KindOutage {
+		s.stats.Outages++
+		return fmt.Errorf("dnssim: nameserver unreachable: %w", d.Err)
+	}
+	s.stats.Timeouts++
+	return fmt.Errorf("%w: %v", ErrTimeout, d.Err)
 }
 
 func key(domain string) string { return strings.ToLower(strings.TrimSuffix(domain, ".")) }

@@ -13,12 +13,13 @@
 //
 // Injection points and their target names:
 //
-//	dns          dnssim.Server lookups (timeout / SERVFAIL / latency)
-//	rbl:<name>   one blocklist provider's query interface (outage / stale)
-//	rbl:*        every provider
-//	av           the antivirus scanner backend (clamd-style daemon down)
-//	smarthost    the outbound challenge smarthost (dial errors, 4xx storms)
-//	store        durable-state snapshot writes
+//	dns             dnssim.Server lookups (timeout / SERVFAIL / latency)
+//	rbl:<name>      one blocklist provider's query interface (outage / stale)
+//	rbl:*           every provider
+//	av              the antivirus scanner backend (clamd-style daemon down)
+//	smarthost       per-item challenge delivery (4xx storms, send errors)
+//	smarthost-dial  the smarthost session/dial itself; "smarthost*" covers both
+//	store           durable-state snapshot writes
 //
 // The hardened consumers (internal/filters.Hardened, core.Engine,
 // outbound.Queue) turn injected faults into explicit fail-open or

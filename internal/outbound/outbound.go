@@ -95,8 +95,10 @@ type Config struct {
 	// schedule length; 0 means len(RetrySchedule)+1.
 	MaxAttempts int
 	// Injector is an optional fault source consulted on the smarthost
-	// path (target "smarthost"): outage/timeout/error faults fail the
-	// session, tempfail faults synthesize a 421 per item.
+	// path. Target "smarthost-dial" is decided once per session before
+	// the dial and any fault fails the whole session; target "smarthost"
+	// is decided per item — tempfail synthesizes a 421, other faults
+	// surface as connection errors. A "smarthost*" rule covers both.
 	Injector faults.Injector
 	// Now supplies timestamps; nil = time.Now.
 	Now func() time.Time
@@ -187,9 +189,10 @@ func (q *Queue) Flush() (terminal int, err error) {
 	}
 
 	if inj := q.cfg.Injector; inj != nil {
-		// Session-level faults surface before the dial; per-item tempfail
-		// storms are decided inside the delivery loop.
-		if d := inj.Decide("smarthost", 0); d.Err != nil && d.Kind != faults.KindTempfail {
+		// Session-level faults surface before the dial, under their own
+		// target: consulting "smarthost" here would count (and burn an RNG
+		// draw on) per-item tempfail rules whose decision is then ignored.
+		if d := inj.Decide("smarthost-dial", 0); d.Err != nil {
 			return 0, fmt.Errorf("outbound: dial smarthost: %w", d.Err)
 		}
 	}

@@ -348,7 +348,7 @@ func TestInjectedTempfailStorm(t *testing.T) {
 
 func TestInjectedOutageFailsBeforeDial(t *testing.T) {
 	inj := faults.New(&faults.Plan{Rules: []faults.Rule{
-		{Target: "smarthost", Kind: faults.KindOutage},
+		{Target: "smarthost-dial", Kind: faults.KindOutage},
 	}}, 1, clock.Real{})
 	dialed := false
 	q := NewQueue(Config{
