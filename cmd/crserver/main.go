@@ -41,6 +41,7 @@ import (
 	"repro/internal/mailbox"
 	"repro/internal/outbound"
 	"repro/internal/rbl"
+	"repro/internal/reputation"
 	"repro/internal/resilience"
 	"repro/internal/smtp"
 	"repro/internal/store"
@@ -90,19 +91,24 @@ func main() {
 			Seed:    *faultSeed,
 		})
 	}
+	repCfg := reputation.DefaultConfig()
+	repCfg.Injector = inj
+	rep := reputation.NewStore(repCfg, clk)
 	chain := filters.NewChain(
+		harden(filters.NewReputation(rep), filters.FailOpen),
 		harden(av, filters.FailClosed),
 		harden(filters.NewRBL(provider), filters.FailOpen),
 	)
 	wl := whitelist.NewStore(clk)
 	saver := &store.Saver{Path: *statePath, Name: "crserver", Injector: inj}
 	if *statePath != "" {
-		snap, err := store.LoadFile(*statePath, wl)
+		snap, err := store.LoadFile(*statePath, wl, rep)
 		if err != nil {
 			log.Fatalf("state load: %v", err)
 		}
 		if snap != nil {
-			log.Printf("restored whitelist snapshot %q from %s", snap.Name, snap.SavedAt.Format(time.RFC3339))
+			log.Printf("restored snapshot %q (%d reputation entries) from %s",
+				snap.Name, len(snap.Reputation), snap.SavedAt.Format(time.RFC3339))
 		}
 	}
 
@@ -135,6 +141,7 @@ func main() {
 		}
 	}
 	eng := core.New(cfg, clk, dns, chain, wl, sendChallenge)
+	eng.SetReputation(rep)
 	inboxes := mailbox.NewStore()
 	eng.SetInboxSink(inboxes.Sink())
 	for _, u := range strings.Split(*users, ",") {
@@ -156,12 +163,13 @@ func main() {
 
 	// Challenge web server + quarantine digest UI + metrics.
 	go func() {
-		log.Printf("web server on %s (challenge pages, /digest/<user>, /mbox/<user>, /metrics)", *httpAddr)
+		log.Printf("web server on %s (challenge pages, /digest/<user>, /mbox/<user>, /reputation, /metrics)", *httpAddr)
 		mux := http.NewServeMux()
 		mux.Handle("/challenge/", eng.Captcha().Handler())
 		admin := adminui.New(eng).Handler()
 		mux.Handle("/digest/", admin)
 		mux.Handle("/metrics", admin)
+		mux.Handle("/reputation", admin)
 		mux.HandleFunc("/mbox/", func(w http.ResponseWriter, r *http.Request) {
 			userRaw := strings.TrimPrefix(r.URL.Path, "/mbox/")
 			user, err := mail.ParseAddress(userRaw)
@@ -183,7 +191,7 @@ func main() {
 			if n := eng.ExpireQuarantine(); n > 0 {
 				log.Printf("expired %d quarantined message(s)", n)
 			}
-			saveState(saver, wl)
+			saveState(saver, wl, rep)
 		}
 	}()
 
@@ -206,7 +214,7 @@ func main() {
 		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 		go func() {
 			<-sigc
-			saveState(saver, wl)
+			saveState(saver, wl, rep)
 			log.Printf("state saved to %s; exiting", *statePath)
 			os.Exit(0)
 		}()
@@ -230,14 +238,15 @@ func challengeBase(httpAddr string) string {
 	return "http://" + httpAddr
 }
 
-// saveState snapshots the whitelists, logging rather than failing —
-// the mail path must survive a full state disk (or an injected write
-// error), and the atomic save keeps the previous snapshot intact.
-func saveState(s *store.Saver, wl *whitelist.Store) {
+// saveState snapshots the whitelists and reputation counters, logging
+// rather than failing — the mail path must survive a full state disk
+// (or an injected write error), and the atomic save keeps the previous
+// snapshot intact.
+func saveState(s *store.Saver, wl *whitelist.Store, rep *reputation.Store) {
 	if s.Path == "" {
 		return
 	}
-	if err := s.Save(wl, time.Now()); err != nil {
+	if err := s.Save(wl, rep, time.Now()); err != nil {
 		log.Printf("state save failed: %v", err)
 	}
 }

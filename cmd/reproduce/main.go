@@ -30,7 +30,7 @@ func main() {
 		seed        = flag.Int64("seed", 42, "simulation seed (equal seeds reproduce exactly)")
 		companies   = flag.Int("companies", 0, "override company count")
 		days        = flag.Int("days", 0, "override simulated days")
-		only        = flag.String("only", "", "render one artifact: fig1|table1|fig4a|fig4b|ratios|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|ablations|chaos")
+		only        = flag.String("only", "", "render one artifact: fig1|table1|fig4a|fig4b|ratios|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|ablations|chaos|reputation")
 		sensitivity = flag.Int("sensitivity", 0, "instead of one run, simulate N seeds and print the cross-seed stability table")
 		faultPlan   = flag.String("fault-plan", "", "JSON fault plan file applied to the run (default plan for -only chaos)")
 	)
@@ -77,6 +77,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "chaos run: %d companies, %d simulated days, seed %d (x2)...\n",
 			cfg.Companies, cfg.Days, cfg.Seed)
 		fmt.Println(experiments.Chaos(cfg, plan).Render())
+		return
+	}
+	// Likewise the reputation ablation: two identically-seeded fleets,
+	// with and without the sender-reputation stage.
+	if strings.ToLower(*only) == "reputation" {
+		fmt.Fprintf(os.Stderr, "reputation ablation: %d companies, %d simulated days, seed %d (x2)...\n",
+			cfg.Companies, cfg.Days, cfg.Seed)
+		fmt.Println(experiments.ReputationAblation(cfg.Seed, cfg.Companies, cfg.Days).Render())
 		return
 	}
 

@@ -35,6 +35,7 @@ import (
 	"repro/internal/mailbox"
 	"repro/internal/maillog"
 	"repro/internal/outbound"
+	"repro/internal/reputation"
 	"repro/internal/smtp"
 	"repro/internal/store"
 	"repro/internal/whitelist"
@@ -101,6 +102,8 @@ func TestEndToEndFullDeployment(t *testing.T) {
 		ChallengeFrom: mail.MustParseAddress("challenge@corp.example"),
 		// Base URL is set below once the web server has a port.
 	}, clk, dns, filters.NewChain(filters.NewAntivirus(), filters.NewReverseDNS(dns)), wl, queue.Sender())
+	rep := reputation.NewStore(reputation.DefaultConfig(), clk)
+	eng.SetReputation(rep)
 	eng.SetEventSink(logW.Write)
 	eng.AddUser(bob)
 	inboxes := mailbox.NewStore()
@@ -200,17 +203,32 @@ func TestEndToEndFullDeployment(t *testing.T) {
 	}
 
 	// --- 6. Persistence: a fresh engine restored from a snapshot still
-	// trusts alice. ---
+	// trusts alice — whitelist and reputation history both survive. ---
 	var snap strings.Builder
-	if err := store.Save(&snap, "e2e", wl, time.Now()); err != nil {
+	if err := store.Save(&snap, "e2e", wl, rep, time.Now()); err != nil {
 		t.Fatal(err)
 	}
 	wl2 := whitelist.NewStore(clk)
-	if _, err := store.Load(strings.NewReader(snap.String()), wl2); err != nil {
+	rep2 := reputation.NewStore(reputation.DefaultConfig(), clk)
+	if _, err := store.Load(strings.NewReader(snap.String()), wl2, rep2); err != nil {
 		t.Fatal(err)
 	}
 	if !wl2.IsWhite(bob, alice) {
 		t.Fatal("whitelist lost across snapshot restore")
+	}
+	if rep.Stats().Entries == 0 {
+		t.Fatal("reputation store recorded nothing for alice")
+	}
+	// Counters restore bit-for-bit (Export reads raw stored state, so
+	// the comparison is exact even on the real clock).
+	ea, eb := rep.Export(), rep2.Export()
+	if len(ea) == 0 || len(ea) != len(eb) {
+		t.Fatalf("reputation entries: %d vs %d after restore", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i].Key != eb[i].Key || ea[i].Counts != eb[i].Counts || !ea[i].Last.Equal(eb[i].Last) {
+			t.Fatalf("reputation entry drift across restore: %+v vs %+v", ea[i], eb[i])
+		}
 	}
 
 	// --- 7. The decision log reconstructs the same statistics. ---

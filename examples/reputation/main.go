@@ -1,0 +1,43 @@
+// Reputation: the sender-reputation engine feeding the adaptive filter
+// stage.
+//
+// Every classification outcome (delivery, solved challenge, filter
+// drop, challenge bounce, RBL hit) feeds a time-decayed per-sender
+// score. Trusted senders skip the probe-filter chain entirely on the
+// engine fast path; suspect senders are dropped by a hardened fail-open
+// reputation filter before any probe spends a lookup on them. This
+// example runs a small fleet twice with the same seed — with and
+// without the subsystem — and prints the shift, plus the score
+// trajectories for the two sender populations that matter: stable
+// newsletter operations vs botnet campaigns churning through spoofed
+// senders and residential IPs.
+//
+//	go run ./examples/reputation
+//
+// The same ablation is available as
+//
+//	go run ./cmd/reproduce -preset quick -only reputation
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	// Two identically-seeded runs; every delta below is caused by the
+	// reputation stage, and rerunning reproduces it byte for byte.
+	res := experiments.ReputationAblation(7, 6, 8)
+	fmt.Print(res.Render())
+
+	fmt.Println()
+	fmt.Println("Reading the table: churning botnet senders accumulate negative")
+	fmt.Println("evidence (RBL hits, filter drops, bounced challenges) and fall")
+	fmt.Println("into the suspect band, so their next messages are dropped before")
+	fmt.Println("the probe filters run — challenge volume collapses while white")
+	fmt.Println("deliveries hold. Stable newsletter senders accumulate deliveries")
+	fmt.Println("and solved challenges instead; the trusted ones skip the probe")
+	fmt.Println("chain on the fast path. The store is advisory and fails open:")
+	fmt.Println("an outage means extra probe work, never lost mail.")
+}

@@ -11,6 +11,7 @@
 //	POST /digest/{user}/authorize?msg={id}  — whitelist sender + deliver
 //	POST /digest/{user}/delete?msg={id}     — drop the message
 //	GET  /metrics                           — engine counters, text/plain
+//	GET  /reputation                        — sender-reputation standings
 package adminui
 
 import (
@@ -22,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mail"
+	"repro/internal/reputation"
 )
 
 // Server renders the digest UI for one engine.
@@ -71,6 +73,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/digest/", s.handleDigest)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/reputation", s.handleReputation)
 	return mux
 }
 
@@ -171,7 +174,63 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "challenges_suppressed %d\n", m.ChallengeSuppressed)
 	fmt.Fprintf(w, "quarantine_len %d\n", s.engine.QuarantineLen())
 	fmt.Fprintf(w, "quarantine_expired %d\n", m.QuarantineExpired)
+	fmt.Fprintf(w, "reputation_fast_path %d\n", m.ReputationFastPath)
+	fmt.Fprintf(w, "reputation_suspect_drop %d\n", m.ReputationSuspect)
+	if rep := s.engine.Reputation(); rep != nil {
+		st := rep.Stats()
+		fmt.Fprintf(w, "reputation_entries %d\n", st.Entries)
+		fmt.Fprintf(w, "reputation_records %d\n", st.Records)
+		fmt.Fprintf(w, "reputation_lookups %d\n", st.Lookups)
+		fmt.Fprintf(w, "reputation_dropped_writes %d\n", st.DroppedWrites)
+		fmt.Fprintf(w, "reputation_failed_lookups %d\n", st.FailedLookups)
+	}
 	for via, n := range m.Delivered {
 		fmt.Fprintf(w, "delivered_%s %d\n", via, n)
 	}
+}
+
+var reputationTmpl = template.Must(template.New("reputation").Parse(`<!DOCTYPE html>
+<html><head><title>Sender reputation — {{.Company}}</title></head><body>
+<h1>Sender reputation</h1>
+{{range .Bands}}
+<h2>{{.Title}} ({{len .Entries}})</h2>
+{{if .Entries}}<table border="1" cellpadding="4">
+<tr><th>sender</th><th>score</th><th>evidence mass</th></tr>
+{{range .Entries}}<tr><td>{{.Key}}</td><td>{{printf "%.3f" .Score}}</td><td>{{printf "%.1f" .Mass}}</td></tr>
+{{end}}</table>{{else}}<p>none</p>{{end}}
+{{end}}
+<h2>Store</h2>
+<p>{{.Stats.Entries}} entries, {{.Stats.Records}} records, {{.Stats.Lookups}} lookups,
+{{.Stats.DroppedWrites}} dropped writes, {{.Stats.FailedLookups}} failed lookups.</p>
+<p>Shard occupancy: {{range .Stats.ShardOccupancy}}{{.}} {{end}}</p>
+</body></html>
+`))
+
+// handleReputation renders the top-K senders per band plus the store's
+// shard occupancy, the operator view of the reputation subsystem.
+func (s *Server) handleReputation(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	rep := s.engine.Reputation()
+	if rep == nil {
+		http.Error(w, "no reputation store configured", http.StatusNotFound)
+		return
+	}
+	const topK = 20
+	type bandView struct {
+		Title   string
+		Entries []reputation.EntrySummary
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = reputationTmpl.Execute(w, map[string]interface{}{
+		"Company": s.engine.Name(),
+		"Bands": []bandView{
+			{"Trusted", rep.TopSenders(reputation.Trusted, topK)},
+			{"Suspect", rep.TopSenders(reputation.Suspect, topK)},
+			{"Neutral", rep.TopSenders(reputation.Neutral, topK)},
+		},
+		"Stats": rep.Stats(),
+	})
 }

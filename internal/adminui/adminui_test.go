@@ -13,6 +13,7 @@ import (
 	"repro/internal/dnssim"
 	"repro/internal/filters"
 	"repro/internal/mail"
+	"repro/internal/reputation"
 	"repro/internal/whitelist"
 )
 
@@ -158,6 +159,46 @@ func TestErrorPaths(t *testing.T) {
 		resp.Body.Close()
 		if resp.StatusCode != c.want {
 			t.Errorf("%s %s = %d, want %d", c.method, c.path, resp.StatusCode, c.want)
+		}
+	}
+}
+
+func TestReputationPageAndMetrics(t *testing.T) {
+	eng, clk, _, srv := fixture(t)
+
+	// Without a store: 404 (but metrics still serve the engine counters).
+	if code, _ := get(t, srv.URL+"/reputation"); code != http.StatusNotFound {
+		t.Fatalf("no-store /reputation = %d, want 404", code)
+	}
+
+	rep := reputation.NewStore(reputation.DefaultConfig(), clk)
+	eng.SetReputation(rep)
+	good := mail.MustParseAddress("friend@example.com")
+	for i := 0; i < 5; i++ {
+		rep.Record(good, "192.0.2.10", reputation.Delivered)
+		rep.Record(mail.MustParseAddress("spam@junk.example"), "100.64.0.1", reputation.RBLHit)
+	}
+
+	code, body := get(t, srv.URL+"/reputation")
+	if code != http.StatusOK {
+		t.Fatalf("/reputation status = %d", code)
+	}
+	for _, want := range []string{"Trusted", "Suspect", "friend@example.com", "spam@junk.example", "Shard occupancy"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/reputation missing %q:\n%s", want, body)
+		}
+	}
+	if code, _ := post(t, srv.URL+"/reputation"); code != http.StatusMethodNotAllowed {
+		t.Fatal("POST /reputation allowed")
+	}
+
+	code, body = get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics status = %d", code)
+	}
+	for _, want := range []string{"reputation_fast_path 0", "reputation_suspect_drop 0", "reputation_entries", "reputation_records 10"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
 		}
 	}
 }

@@ -17,6 +17,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -27,6 +28,7 @@ import (
 	"repro/internal/filters"
 	"repro/internal/mail"
 	"repro/internal/maillog"
+	"repro/internal/reputation"
 	"repro/internal/whitelist"
 )
 
@@ -266,6 +268,14 @@ type Metrics struct {
 	MTADegradedAccept int64
 	MTADegradedDrop   int64
 
+	// Reputation. ReputationFastPath counts gray messages whose
+	// trusted-band sender skipped the auxiliary probe chain entirely
+	// (the fast path — each hit saves every probe the chain would have
+	// run); ReputationSuspect counts gray messages the reputation chain
+	// stage dropped on a suspect-band verdict.
+	ReputationFastPath int64
+	ReputationSuspect  int64
+
 	// Deliveries and quarantine.
 	Delivered         map[DeliveryVia]int64
 	QuarantineExpired int64
@@ -283,6 +293,7 @@ type Engine struct {
 	sendCh   ChallengeSender
 	sink     func(maillog.Event)           // optional decision log
 	inbox    func(Delivery, *mail.Message) // optional delivery store
+	rep      *reputation.Store             // optional sender-reputation store
 
 	mu         sync.Mutex
 	users      map[string]bool // protected accounts, by address key
@@ -378,6 +389,43 @@ func (e *Engine) SetEventSink(sink func(maillog.Event)) {
 	e.mu.Lock()
 	e.sink = sink
 	e.mu.Unlock()
+}
+
+// SetReputation installs the sender-reputation store. Once installed,
+// the engine records every classification outcome into it and consults
+// it before running the gray-spool filter chain: trusted-band senders
+// skip the probe filters entirely. The store is advisory — a lookup
+// failure degrades fail-open to the full chain, never blocking mail.
+func (e *Engine) SetReputation(s *reputation.Store) {
+	e.mu.Lock()
+	e.rep = s
+	e.mu.Unlock()
+}
+
+// Reputation returns the installed reputation store (nil if none).
+func (e *Engine) Reputation() *reputation.Store {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rep
+}
+
+// recordRep adds one outcome observation for (sender, ip), if a
+// reputation store is installed.
+func (e *Engine) recordRep(sender mail.Address, ip string, o reputation.Outcome) {
+	e.mu.Lock()
+	rep := e.rep
+	e.mu.Unlock()
+	if rep != nil {
+		rep.Record(sender, ip, o)
+	}
+}
+
+// RecordChallengeBounce notes that a challenge emailed to sender came
+// back undeliverable (no such user / no such domain) — the spoofed-
+// sender signature, which the transport layer observes and the
+// reputation store turns into negative evidence.
+func (e *Engine) RecordChallengeBounce(sender mail.Address) {
+	e.recordRep(sender, "", reputation.Bounced)
 }
 
 // emit reports an event to the sink, if one is installed. kvs are
@@ -603,6 +651,7 @@ func (e *Engine) dispatch(msg *mail.Message) {
 		e.m.SpoolBlack++
 		e.mu.Unlock()
 		e.emit(maillog.KindDispatch, msg.ID, "spool", Black.String())
+		e.recordRep(sender, msg.ClientIP, reputation.Spam)
 	case !sender.IsNull() && e.wl.IsWhite(user, sender):
 		e.mu.Lock()
 		e.m.SpoolWhite++
@@ -618,8 +667,35 @@ func (e *Engine) dispatch(msg *mail.Message) {
 	}
 }
 
-// handleGray runs the auxiliary filters and challenges survivors.
+// handleGray runs the auxiliary filters and challenges survivors. When
+// a reputation store is installed the engine consults it first: a
+// trusted-band sender skips the probe chain entirely (fast path) and
+// proceeds straight to the challenge/quarantine stage. The skip is
+// never silent — a maillog "reputation" event records the band, score
+// and contributing keys, and Metrics.ReputationFastPath counts it.
 func (e *Engine) handleGray(msg *mail.Message) GrayOutcome {
+	e.mu.Lock()
+	rep := e.rep
+	e.mu.Unlock()
+	if rep != nil && e.chain != nil && !msg.EnvelopeFrom.IsNull() {
+		v, err := rep.Lookup(msg.EnvelopeFrom, msg.ClientIP)
+		switch {
+		case err != nil:
+			// Store unavailable: reputation is advisory, so fail open to
+			// the full filter chain — never block or drop on its account.
+			e.mu.Lock()
+			e.m.FilterDegraded["reputation"]++
+			e.mu.Unlock()
+			e.emit(maillog.KindDegraded, msg.ID,
+				"component", "reputation", "mode", filters.FailOpen.String(), "action", "pass")
+		case v.Band == reputation.Trusted:
+			e.mu.Lock()
+			e.m.ReputationFastPath++
+			e.mu.Unlock()
+			e.emitReputation(msg.ID, "fast-path", v)
+			return e.challengeOrQuarantine(msg)
+		}
+	}
 	if e.chain != nil {
 		o := e.chain.Run(msg)
 		for _, d := range o.Degraded {
@@ -636,11 +712,48 @@ func (e *Engine) handleGray(msg *mail.Message) GrayOutcome {
 		if o.Result.Verdict == filters.Drop {
 			e.mu.Lock()
 			e.m.FilterDropped[o.DroppedBy]++
+			if o.DroppedBy == "reputation" {
+				e.m.ReputationSuspect++
+			}
 			e.mu.Unlock()
 			e.emit(maillog.KindFilterDrop, msg.ID, "filter", o.DroppedBy)
+			switch o.DroppedBy {
+			case "reputation":
+				// The store's own verdict dropped the message. Recording
+				// that as fresh spam evidence would let the verdict feed
+				// itself; emit the explain event and leave the counters
+				// alone.
+				if rep != nil {
+					e.emitReputation(msg.ID, "suspect", rep.Score(msg.EnvelopeFrom, msg.ClientIP))
+				}
+			case "rbl":
+				e.recordRep(msg.EnvelopeFrom, msg.ClientIP, reputation.RBLHit)
+			default:
+				e.recordRep(msg.EnvelopeFrom, msg.ClientIP, reputation.Spam)
+			}
 			return GrayDropped
 		}
 	}
+	return e.challengeOrQuarantine(msg)
+}
+
+// emitReputation logs one reputation decision with its evidence.
+func (e *Engine) emitReputation(msgID, action string, v reputation.Verdict) {
+	keys := make([]string, len(v.Keys))
+	for i, k := range v.Keys {
+		keys[i] = k.Key
+	}
+	e.emit(maillog.KindReputation, msgID,
+		"action", action,
+		"band", v.Band.String(),
+		"score", fmt.Sprintf("%.3f", v.Score),
+		"keys", strings.Join(keys, ","))
+}
+
+// challengeOrQuarantine is the post-filter half of the gray path:
+// quarantine the message and challenge its sender (subject to the
+// null-sender, pending-pair and rate-cap rules).
+func (e *Engine) challengeOrQuarantine(msg *mail.Message) GrayOutcome {
 	now := e.clk.Now()
 	q := &quarantined{msg: msg, queuedAt: now}
 
@@ -696,6 +809,7 @@ func (e *Engine) handleGray(msg *mail.Message) GrayOutcome {
 	e.mu.Unlock()
 
 	e.emit(maillog.KindChallenge, msg.ID, "to", msg.EnvelopeFrom.Key())
+	e.recordRep(msg.EnvelopeFrom, msg.ClientIP, reputation.Challenged)
 	if send != nil {
 		send(OutboundChallenge{
 			MsgID:   msg.ID,
@@ -732,6 +846,7 @@ func (e *Engine) deliver(msg *mail.Message, via DeliveryVia) {
 	inbox := e.inbox
 	e.mu.Unlock()
 	e.emit(maillog.KindDeliver, msg.ID, "via", via.String())
+	e.recordRep(msg.EnvelopeFrom, msg.ClientIP, reputation.Delivered)
 	if inbox != nil {
 		inbox(d, msg)
 	}
@@ -742,6 +857,7 @@ func (e *Engine) deliver(msg *mail.Message, via DeliveryVia) {
 func (e *Engine) onChallengeSolved(ch *captcha.Challenge) {
 	e.emit(maillog.KindWebSolve, ch.MsgID, "token", ch.Token, "attempts", itoa(ch.Attempts))
 	e.wl.AddWhite(ch.Recipient, ch.Sender, whitelist.SourceChallenge)
+	e.recordRep(ch.Sender, "", reputation.Solved)
 
 	pk := pairKey(ch.Recipient, ch.Sender)
 	e.mu.Lock()

@@ -17,6 +17,7 @@ import (
 	"repro/internal/dnssim"
 	"repro/internal/faults"
 	"repro/internal/rbl"
+	"repro/internal/reputation"
 	"repro/internal/resilience"
 	"repro/internal/spf"
 
@@ -277,6 +278,48 @@ func (f *SPF) Probe(msg *mail.Message) (Result, error) {
 	default:
 		return Result{Verdict: Pass}, nil
 	}
+}
+
+// Reputation drops messages from suspect-band senders before the
+// expensive probe filters run, consulting the shared sender-reputation
+// store. It is the "tightening" half of the reputation subsystem (the
+// trusted fast path lives in core.Engine, which skips the whole chain).
+// The store is advisory infrastructure: a failed lookup is an
+// infrastructure error, so under Harden with FailOpen the message
+// passes through to the rest of the chain — a reputation outage never
+// blocks mail.
+type Reputation struct {
+	store *reputation.Store
+}
+
+// NewReputation returns the reputation chain stage over store.
+func NewReputation(store *reputation.Store) *Reputation {
+	return &Reputation{store: store}
+}
+
+// Name implements Filter.
+func (f *Reputation) Name() string { return "reputation" }
+
+// Store returns the backing reputation store.
+func (f *Reputation) Store() *reputation.Store { return f.store }
+
+// Check implements Filter; lookup failures pass (fail-open).
+func (f *Reputation) Check(msg *mail.Message) Result {
+	r, _ := f.Probe(msg)
+	return r
+}
+
+// Probe implements Prober: a store outage is an infrastructure error,
+// a suspect-band verdict drops, anything else passes.
+func (f *Reputation) Probe(msg *mail.Message) (Result, error) {
+	v, err := f.store.Lookup(msg.EnvelopeFrom, msg.ClientIP)
+	if err != nil {
+		return Result{}, err
+	}
+	if v.Band == reputation.Suspect {
+		return Result{Drop, fmt.Sprintf("suspect-sender(score=%.2f,mass=%.1f)", v.Score, v.Mass)}, nil
+	}
+	return Result{Verdict: Pass}, nil
 }
 
 // Hardened wraps a Prober with the full degradation path: a circuit

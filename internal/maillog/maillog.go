@@ -49,6 +49,13 @@ const (
 	// KindDegraded: a dependency was unavailable and a component fell
 	// back to its degradation policy (fields: component, mode, action).
 	KindDegraded Kind = "degraded"
+	// KindReputation: the sender-reputation store decided a gray
+	// message's path (fields: action, band, score, keys) — action
+	// "fast-path" when a trusted sender skipped the probe filters,
+	// "suspect" when the reputation stage dropped the message. Every
+	// bypass is logged; reporting tooling can always explain why a
+	// message never reached the probe chain.
+	KindReputation Kind = "reputation"
 )
 
 // Event is one structured log record.
@@ -186,6 +193,7 @@ type CompanyAggregate struct {
 	WebSolves   int64
 	InBytes     int64
 	Degraded    map[string]int64 // degraded-mode fallbacks, by component
+	Reputation  map[string]int64 // reputation decisions, by action
 }
 
 func newCompanyAggregate() *CompanyAggregate {
@@ -195,6 +203,7 @@ func newCompanyAggregate() *CompanyAggregate {
 		FilterDrops: make(map[string]int64),
 		Deliveries:  make(map[string]int64),
 		Degraded:    make(map[string]int64),
+		Reputation:  make(map[string]int64),
 	}
 }
 
@@ -257,6 +266,8 @@ func (a *Aggregate) Add(e Event) {
 			c.WebSolves++
 		case KindDegraded:
 			c.Degraded[e.Fields["component"]]++
+		case KindReputation:
+			c.Reputation[e.Fields["action"]]++
 		}
 	}
 }

@@ -262,6 +262,7 @@ func (n *Network) attemptDelivery(c *Company, rec *ChallengeRecord) {
 	// No server for the domain (or no DNS): hard bounce.
 	if remote == nil || !n.dns.Resolvable(to.Domain) {
 		rec.Status = StatusBouncedNoDomain
+		c.Engine.RecordChallengeBounce(to)
 		n.emitDSN(c, rec, "", "host not found")
 		return
 	}
@@ -292,6 +293,11 @@ func (n *Network) attemptDelivery(c *Company, rec *ChallengeRecord) {
 	persona, behavior, exists := remote.Lookup(to)
 	if !exists {
 		rec.Status = StatusBouncedNoUser
+		// The spoofed-sender signature: the reputation store learns that
+		// challenges to this sender bounce. (Blacklisted rejections are
+		// the challenge server's own standing, not the sender's, and are
+		// not recorded.)
+		c.Engine.RecordChallengeBounce(to)
 		n.emitDSN(c, rec, remote.IP, "550 no such user: "+to.String())
 		return
 	}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/reputation"
 	"repro/internal/whitelist"
 )
 
@@ -33,15 +34,24 @@ type Snapshot struct {
 	Name    string                   `json:"name"`
 	SavedAt time.Time                `json:"saved_at"`
 	Lists   []whitelist.ExportedList `json:"lists"`
+	// Reputation carries the sender-reputation counters (absent in
+	// snapshots written before the reputation subsystem, and when no
+	// store is wired). Counters round-trip through JSON bit-for-bit, so
+	// a restore reproduces every score exactly.
+	Reputation []reputation.ExportedEntry `json:"reputation,omitempty"`
 }
 
-// Save writes a snapshot of the store to w.
-func Save(w io.Writer, name string, wl *whitelist.Store, now time.Time) error {
+// Save writes a snapshot of the store to w. rep may be nil when the
+// installation runs without a reputation store.
+func Save(w io.Writer, name string, wl *whitelist.Store, rep *reputation.Store, now time.Time) error {
 	snap := Snapshot{
 		Version: FormatVersion,
 		Name:    name,
 		SavedAt: now.UTC(),
 		Lists:   wl.Export(),
+	}
+	if rep != nil {
+		snap.Reputation = rep.Export()
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -51,8 +61,9 @@ func Save(w io.Writer, name string, wl *whitelist.Store, now time.Time) error {
 	return nil
 }
 
-// Load reads a snapshot from r and merges it into wl.
-func Load(r io.Reader, wl *whitelist.Store) (*Snapshot, error) {
+// Load reads a snapshot from r and merges it into wl and (when both
+// the snapshot and the caller have one) the reputation store.
+func Load(r io.Reader, wl *whitelist.Store, rep *reputation.Store) (*Snapshot, error) {
 	var snap Snapshot
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("store: decode: %w", err)
@@ -63,13 +74,16 @@ func Load(r io.Reader, wl *whitelist.Store) (*Snapshot, error) {
 	if err := wl.Import(snap.Lists); err != nil {
 		return nil, err
 	}
+	if rep != nil && len(snap.Reputation) > 0 {
+		rep.Import(snap.Reputation)
+	}
 	return &snap, nil
 }
 
 // SaveFile atomically writes the snapshot to path: the data lands in a
 // temp file in the same directory and is renamed into place, so readers
 // never observe a partial snapshot.
-func SaveFile(path, name string, wl *whitelist.Store, now time.Time) error {
+func SaveFile(path, name string, wl *whitelist.Store, rep *reputation.Store, now time.Time) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".crstate-*")
 	if err != nil {
@@ -78,7 +92,7 @@ func SaveFile(path, name string, wl *whitelist.Store, now time.Time) error {
 	tmpName := tmp.Name()
 	defer os.Remove(tmpName) // no-op after successful rename
 
-	if err := Save(tmp, name, wl, now); err != nil {
+	if err := Save(tmp, name, wl, rep, now); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -112,8 +126,9 @@ type Saver struct {
 	failed   int64
 }
 
-// Save writes one snapshot, consulting the injector first.
-func (s *Saver) Save(wl *whitelist.Store, now time.Time) error {
+// Save writes one snapshot, consulting the injector first. rep may be
+// nil.
+func (s *Saver) Save(wl *whitelist.Store, rep *reputation.Store, now time.Time) error {
 	s.mu.Lock()
 	s.attempts++
 	inj := s.Injector
@@ -126,7 +141,7 @@ func (s *Saver) Save(wl *whitelist.Store, now time.Time) error {
 			return fmt.Errorf("store: save %s: %w", s.Path, d.Err)
 		}
 	}
-	if err := SaveFile(s.Path, s.Name, wl, now); err != nil {
+	if err := SaveFile(s.Path, s.Name, wl, rep, now); err != nil {
 		s.mu.Lock()
 		s.failed++
 		s.mu.Unlock()
@@ -144,7 +159,7 @@ func (s *Saver) Stats() (attempts, failed int64) {
 
 // LoadFile reads a snapshot file into wl. A missing file is not an
 // error: it returns (nil, nil) so a first boot starts empty.
-func LoadFile(path string, wl *whitelist.Store) (*Snapshot, error) {
+func LoadFile(path string, wl *whitelist.Store, rep *reputation.Store) (*Snapshot, error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		return nil, nil
@@ -153,5 +168,5 @@ func LoadFile(path string, wl *whitelist.Store) (*Snapshot, error) {
 		return nil, fmt.Errorf("store: open: %w", err)
 	}
 	defer f.Close()
-	return Load(f, wl)
+	return Load(f, wl, rep)
 }

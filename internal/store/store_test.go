@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/mail"
+	"repro/internal/reputation"
 	"repro/internal/whitelist"
 )
 
@@ -33,12 +34,12 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	src := populated(clk)
 
 	var sb strings.Builder
-	if err := Save(&sb, "corp", src, clk.Now()); err != nil {
+	if err := Save(&sb, "corp", src, nil, clk.Now()); err != nil {
 		t.Fatal(err)
 	}
 
 	dst := whitelist.NewStore(clk)
-	snap, err := Load(strings.NewReader(sb.String()), dst)
+	snap, err := Load(strings.NewReader(sb.String()), dst, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 func TestLoadRejectsBadVersion(t *testing.T) {
 	clk := clock.NewSim(t0)
 	wl := whitelist.NewStore(clk)
-	_, err := Load(strings.NewReader(`{"version": 99, "lists": []}`), wl)
+	_, err := Load(strings.NewReader(`{"version": 99, "lists": []}`), wl, nil)
 	if err == nil || !strings.Contains(err.Error(), "version") {
 		t.Fatalf("err = %v", err)
 	}
@@ -76,7 +77,7 @@ func TestLoadRejectsBadVersion(t *testing.T) {
 func TestLoadRejectsGarbage(t *testing.T) {
 	clk := clock.NewSim(t0)
 	wl := whitelist.NewStore(clk)
-	if _, err := Load(strings.NewReader("not json"), wl); err == nil {
+	if _, err := Load(strings.NewReader("not json"), wl, nil); err == nil {
 		t.Fatal("garbage accepted")
 	}
 }
@@ -85,14 +86,14 @@ func TestImportIsMergeNotReplace(t *testing.T) {
 	clk := clock.NewSim(t0)
 	src := populated(clk)
 	var sb strings.Builder
-	if err := Save(&sb, "corp", src, clk.Now()); err != nil {
+	if err := Save(&sb, "corp", src, nil, clk.Now()); err != nil {
 		t.Fatal(err)
 	}
 
 	dst := whitelist.NewStore(clk)
 	pre := mail.MustParseAddress("pre@existing.example")
 	dst.AddWhite(bob, pre, whitelist.SourceManual)
-	if _, err := Load(strings.NewReader(sb.String()), dst); err != nil {
+	if _, err := Load(strings.NewReader(sb.String()), dst, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !dst.IsWhite(bob, pre) {
@@ -109,7 +110,7 @@ func TestSaveFileLoadFile(t *testing.T) {
 
 	clk := clock.NewSim(t0)
 	src := populated(clk)
-	if err := SaveFile(path, "corp", src, clk.Now()); err != nil {
+	if err := SaveFile(path, "corp", src, nil, clk.Now()); err != nil {
 		t.Fatal(err)
 	}
 	// No stray temp files.
@@ -119,7 +120,7 @@ func TestSaveFileLoadFile(t *testing.T) {
 	}
 
 	dst := whitelist.NewStore(clk)
-	snap, err := LoadFile(path, dst)
+	snap, err := LoadFile(path, dst, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,10 +132,60 @@ func TestSaveFileLoadFile(t *testing.T) {
 	}
 }
 
+func TestReputationSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	clk := clock.NewSim(t0)
+	wl := populated(clk)
+	rep := reputation.NewStore(reputation.DefaultConfig(), clk)
+	alice := mail.MustParseAddress("alice@example.com")
+	for i := 0; i < 5; i++ {
+		rep.Record(alice, "192.0.2.10", reputation.Delivered)
+		clk.Advance(13 * time.Minute) // non-trivial decay factors
+	}
+	rep.Record(mail.MustParseAddress("spam@junk.example"), "100.64.0.1", reputation.RBLHit)
+
+	if err := SaveFile(path, "corp", wl, rep, clk.Now()); err != nil {
+		t.Fatal(err)
+	}
+	// "Restart": fresh stores, restored from disk.
+	wl2 := whitelist.NewStore(clk)
+	rep2 := reputation.NewStore(reputation.DefaultConfig(), clk)
+	snap, err := LoadFile(path, wl2, rep2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Reputation) == 0 {
+		t.Fatal("snapshot carries no reputation entries")
+	}
+	a, b := rep.Score(alice, "192.0.2.10"), rep2.Score(alice, "192.0.2.10")
+	if a.Score != b.Score || a.Mass != b.Mass || a.Band != b.Band {
+		t.Fatalf("reputation drift across restart: %+v vs %+v", a, b)
+	}
+	if rep2.Stats().Entries != rep.Stats().Entries {
+		t.Fatalf("entry count drift: %d vs %d", rep2.Stats().Entries, rep.Stats().Entries)
+	}
+}
+
+// TestLoadOldSnapshotWithoutReputation: snapshots written before the
+// reputation subsystem (no "reputation" key) still load cleanly.
+func TestLoadOldSnapshotWithoutReputation(t *testing.T) {
+	clk := clock.NewSim(t0)
+	wl := whitelist.NewStore(clk)
+	rep := reputation.NewStore(reputation.DefaultConfig(), clk)
+	snap, err := Load(strings.NewReader(`{"version":1,"name":"old","lists":[]}`), wl, rep)
+	if err != nil || snap.Name != "old" {
+		t.Fatalf("old snapshot rejected: snap=%+v err=%v", snap, err)
+	}
+	if rep.Stats().Entries != 0 {
+		t.Fatalf("phantom reputation entries: %+v", rep.Stats())
+	}
+}
+
 func TestLoadFileMissingIsFirstBoot(t *testing.T) {
 	clk := clock.NewSim(t0)
 	wl := whitelist.NewStore(clk)
-	snap, err := LoadFile(filepath.Join(t.TempDir(), "nope.json"), wl)
+	snap, err := LoadFile(filepath.Join(t.TempDir(), "nope.json"), wl, nil)
 	if err != nil || snap != nil {
 		t.Fatalf("missing file: snap=%v err=%v", snap, err)
 	}
@@ -147,15 +198,15 @@ func TestSaveFileOverwritesAtomically(t *testing.T) {
 
 	first := whitelist.NewStore(clk)
 	first.AddWhite(bob, mail.MustParseAddress("v1@example.com"), whitelist.SourceManual)
-	if err := SaveFile(path, "corp", first, clk.Now()); err != nil {
+	if err := SaveFile(path, "corp", first, nil, clk.Now()); err != nil {
 		t.Fatal(err)
 	}
 	second := populated(clk)
-	if err := SaveFile(path, "corp", second, clk.Now()); err != nil {
+	if err := SaveFile(path, "corp", second, nil, clk.Now()); err != nil {
 		t.Fatal(err)
 	}
 	dst := whitelist.NewStore(clk)
-	if _, err := LoadFile(path, dst); err != nil {
+	if _, err := LoadFile(path, dst, nil); err != nil {
 		t.Fatal(err)
 	}
 	if dst.IsWhite(bob, mail.MustParseAddress("v1@example.com")) {

@@ -16,6 +16,7 @@ import (
 	"repro/internal/mail"
 	"repro/internal/maillog"
 	"repro/internal/rbl"
+	"repro/internal/reputation"
 	"repro/internal/resilience"
 	"repro/internal/simnet"
 	"repro/internal/spf"
@@ -68,6 +69,13 @@ type Config struct {
 	// ChallengeCapPerHour, when >0, applies the per-engine hourly
 	// challenge rate cap (the §6 attack mitigation).
 	ChallengeCapPerHour int
+	// UseReputation gives every engine a sender-reputation store: a
+	// hardened fail-open reputation filter heads the chain (suspect
+	// senders dropped before the probe filters run) and trusted senders
+	// skip the probe filters entirely via the engine fast path. Off by
+	// default so the calibrated baseline stays untouched; the reputation
+	// ablation flips it.
+	UseReputation bool
 	// UseGreylisting puts an SMTP greylist in front of every engine:
 	// first-contact tuples are temp-rejected; real MTAs retry (the
 	// message arrives ~delay later), botnet cannons mostly do not. An
@@ -167,12 +175,13 @@ type Fleet struct {
 
 	rng        *rand.Rand
 	profiles   map[string]CompanyProfile
-	users      map[string][]mail.Address  // company -> protected users
-	seededWL   map[string][]mail.Address  // user key -> seeded contacts
-	seededBL   map[string][]mail.Address  // user key -> blacklisted senders
-	rejectedBy map[string]mail.Address    // company -> its rejected sender
-	activity   map[string]float64         // user key -> outbound-activity multiplier
-	greylists  map[string]*greylist.Store // company -> greylist (when enabled)
+	users      map[string][]mail.Address    // company -> protected users
+	seededWL   map[string][]mail.Address    // user key -> seeded contacts
+	seededBL   map[string][]mail.Address    // user key -> blacklisted senders
+	rejectedBy map[string]mail.Address      // company -> its rejected sender
+	activity   map[string]float64           // user key -> outbound-activity multiplier
+	greylists  map[string]*greylist.Store   // company -> greylist (when enabled)
+	reputation map[string]*reputation.Store // company -> reputation store (when enabled)
 
 	legitPool     []mail.Address
 	innocents     []mail.Address
@@ -215,6 +224,7 @@ func NewFleet(cfg Config) *Fleet {
 		rejectedBy:  make(map[string]mail.Address),
 		activity:    make(map[string]float64),
 		greylists:   make(map[string]*greylist.Store),
+		reputation:  make(map[string]*reputation.Store),
 		truth:       make(map[string]Class),
 		grayLog:     make(map[string]GrayEntry),
 		classCounts: make(map[Class]int64),
@@ -519,6 +529,20 @@ func (f *Fleet) buildCompanies() {
 		if f.Cfg.UseSPFFilter {
 			chainFilters = append(chainFilters, harden(filters.NewSPF(spf.New(f.DNS)), filters.FailOpen, 4))
 		}
+		var rep *reputation.Store
+		if f.Cfg.UseReputation {
+			repCfg := reputation.DefaultConfig()
+			if f.Injector != nil {
+				repCfg.Injector = f.Injector
+			}
+			rep = reputation.NewStore(repCfg, f.Clk)
+			f.reputation[p.Name] = rep
+			// The reputation check heads the chain so suspect senders are
+			// dropped before any probe filter spends a lookup on them.
+			chainFilters = append([]filters.Filter{
+				harden(filters.NewReputation(rep), filters.FailOpen, 5),
+			}, chainFilters...)
+		}
 		chain := filters.NewChain(chainFilters...)
 		wl := whitelist.NewStore(f.Clk)
 		relayDomains := []string(nil)
@@ -537,6 +561,9 @@ func (f *Fleet) buildCompanies() {
 			Seed:                 f.Cfg.Seed + int64(i)*7919,
 			MaxChallengesPerHour: f.Cfg.ChallengeCapPerHour,
 		}, f.Clk, f.DNS, chain, wl, nil)
+		if rep != nil {
+			eng.SetReputation(rep)
+		}
 		if f.Cfg.LogSink != nil {
 			eng.SetEventSink(f.Cfg.LogSink)
 		}
@@ -649,3 +676,7 @@ func (f *Fleet) LegitPool() []mail.Address { return f.legitPool }
 // Greylist returns a company's greylist store (nil unless
 // UseGreylisting).
 func (f *Fleet) Greylist(company string) *greylist.Store { return f.greylists[company] }
+
+// Reputation returns a company's sender-reputation store (nil unless
+// UseReputation).
+func (f *Fleet) Reputation(company string) *reputation.Store { return f.reputation[company] }
