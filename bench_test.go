@@ -15,6 +15,7 @@ package repro_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -29,6 +30,7 @@ import (
 	"repro/internal/reputation"
 	"repro/internal/simnet"
 	"repro/internal/whitelist"
+	"repro/internal/workload"
 )
 
 var (
@@ -511,5 +513,47 @@ func TestBenchRunSanity(t *testing.T) {
 	ct := experiments.CaptchaTries(r)
 	if ct.MaxTries > 5 {
 		t.Errorf("max CAPTCHA tries = %d; the paper never saw more than five", ct.MaxTries)
+	}
+}
+
+// quickFleetCfg builds the workload config matching the experiments
+// Quick preset, with an explicit worker-pool size.
+func quickFleetCfg(seed int64, workers int) workload.Config {
+	q := experiments.Quick(seed)
+	cfg := workload.DefaultConfig(seed, q.Companies)
+	cfg.Workers = workers
+	for i := range cfg.Profiles {
+		p := &cfg.Profiles[i]
+		p.Users = max(5, int(float64(p.Users)*q.UserScale))
+		p.DailyVolume = max(100, int(float64(p.DailyVolume)*q.VolumeScale))
+	}
+	return cfg
+}
+
+// BenchmarkFleetParallel measures the epoch-barrier worker pool against
+// the serial baseline on the same Quick-sized fleet. The timed region is
+// Fleet.Run only (world assembly excluded); aggregate results are
+// worker-count-invariant (TestWorkerCountInvariance in
+// internal/experiments), so the sub-benchmarks differ in wall-clock
+// only. cmd/bench records the same comparison to BENCH_fleet.json.
+func BenchmarkFleetParallel(b *testing.B) {
+	days := experiments.Quick(42).Days
+	for _, workers := range []int{1, max(4, runtime.GOMAXPROCS(0))} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var msgs int64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				mail.ResetIDCounter()
+				f := workload.NewFleet(quickFleetCfg(42, workers))
+				b.StartTimer()
+				f.Run(days)
+				b.StopTimer()
+				for _, c := range f.Companies {
+					msgs += c.Engine.Metrics().MTAIncoming
+				}
+			}
+			b.ReportMetric(float64(msgs)/b.Elapsed().Seconds(), "msgs/sec")
+		})
 	}
 }

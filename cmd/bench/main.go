@@ -1,0 +1,150 @@
+// Command bench measures fleet-simulation throughput and records the
+// serial-vs-parallel comparison to BENCH_fleet.json. It runs the same
+// Quick-sized fleet once per worker configuration (the aggregate results
+// are worker-count-invariant, so only wall-clock differs) and reports
+// wall-clock, messages/second, allocations/message and the resolver
+// cache hit rates.
+//
+// Usage:
+//
+//	go run ./cmd/bench [-seed 42] [-days 7] [-workers N] [-out BENCH_fleet.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/mail"
+	"repro/internal/workload"
+)
+
+// result is one measured fleet run.
+type result struct {
+	Workers      int     `json:"workers"`
+	Companies    int     `json:"companies"`
+	Days         int     `json:"days"`
+	Messages     int64   `json:"messages"`
+	WallClockSec float64 `json:"wall_clock_sec"`
+	MsgsPerSec   float64 `json:"msgs_per_sec"`
+	AllocsPerMsg float64 `json:"allocs_per_msg"`
+	DNSCacheRate float64 `json:"dns_cache_hit_rate"`
+	DNSLookups   int64   `json:"dns_cache_lookups"`
+	RBLCacheRate float64 `json:"rbl_cache_hit_rate"`
+	RBLLookups   int64   `json:"rbl_cache_lookups"`
+}
+
+// report is the BENCH_fleet.json document.
+type report struct {
+	Generated  string   `json:"generated"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Seed       int64    `json:"seed"`
+	Runs       []result `json:"runs"`
+	// Speedup is parallel msgs/sec over the workers=1 baseline.
+	Speedup float64 `json:"speedup"`
+}
+
+func measure(seed int64, days, companies, workers int, userScale, volumeScale float64) result {
+	cfg := workload.DefaultConfig(seed, companies)
+	cfg.Workers = workers
+	for i := range cfg.Profiles {
+		p := &cfg.Profiles[i]
+		p.Users = max(5, int(float64(p.Users)*userScale))
+		p.DailyVolume = max(100, int(float64(p.DailyVolume)*volumeScale))
+	}
+	mail.ResetIDCounter()
+	f := workload.NewFleet(cfg)
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	f.Run(days)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	var msgs int64
+	for _, c := range f.Companies {
+		msgs += c.Engine.Metrics().MTAIncoming
+	}
+	r := result{
+		Workers:      workers,
+		Companies:    companies,
+		Days:         days,
+		Messages:     msgs,
+		WallClockSec: wall.Seconds(),
+	}
+	if wall > 0 {
+		r.MsgsPerSec = float64(msgs) / wall.Seconds()
+	}
+	if msgs > 0 {
+		r.AllocsPerMsg = float64(after.Mallocs-before.Mallocs) / float64(msgs)
+	}
+	if f.DNSCache != nil {
+		st := f.DNSCache.Stats()
+		r.DNSCacheRate = st.HitRate()
+		r.DNSLookups = st.Lookups()
+	}
+	if f.RBLCache != nil {
+		st := f.RBLCache.Stats()
+		r.RBLCacheRate = st.HitRate()
+		r.RBLLookups = st.Lookups()
+	}
+	return r
+}
+
+func main() {
+	seed := flag.Int64("seed", 42, "simulation seed")
+	days := flag.Int("days", 0, "simulated days (0 = Quick preset)")
+	companies := flag.Int("companies", 0, "fleet size (0 = Quick preset)")
+	workers := flag.Int("workers", 0, "parallel worker count (0 = max(4, GOMAXPROCS))")
+	out := flag.String("out", "BENCH_fleet.json", "output file")
+	flag.Parse()
+
+	q := experiments.Quick(*seed)
+	if *days <= 0 {
+		*days = q.Days
+	}
+	if *companies <= 0 {
+		*companies = q.Companies
+	}
+	par := *workers
+	if par <= 0 {
+		par = max(4, runtime.GOMAXPROCS(0))
+	}
+
+	rep := report{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       *seed,
+	}
+	for _, w := range []int{1, par} {
+		fmt.Fprintf(os.Stderr, "running fleet: %d companies x %d days, workers=%d...\n",
+			*companies, *days, w)
+		r := measure(*seed, *days, *companies, w, q.UserScale, q.VolumeScale)
+		fmt.Fprintf(os.Stderr, "  %.2fs wall, %.0f msgs/sec, %.1f allocs/msg, dns hit rate %.3f\n",
+			r.WallClockSec, r.MsgsPerSec, r.AllocsPerMsg, r.DNSCacheRate)
+		rep.Runs = append(rep.Runs, r)
+	}
+	if base := rep.Runs[0].MsgsPerSec; base > 0 {
+		rep.Speedup = rep.Runs[len(rep.Runs)-1].MsgsPerSec / base
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marshal:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "write:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (speedup %.2fx over workers=1)\n", *out, rep.Speedup)
+}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/adminui"
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/dnscache"
 	"repro/internal/dnssim"
 	"repro/internal/faults"
 	"repro/internal/filters"
@@ -81,6 +82,21 @@ func main() {
 		log.Printf("fault injection active (seed %d):\n%s", *faultSeed, plan.Describe())
 	}
 
+	// Resolver and blocklist caches (off under a fault plan: injected
+	// faults must reach every consumer un-cached). The live server uses
+	// the same TTL + negative caching + single-flight path the fleet
+	// simulation exercises; /metrics reports the hit rates.
+	var resolver dnssim.Resolver = dns
+	var dnsCache *dnscache.Cache
+	var rblCache *dnscache.RBLCache
+	var rblBackend filters.RBLBackend = provider
+	if inj == nil {
+		dnsCache = dnscache.New(dns, dnscache.Options{Clock: clk, Gen: dns.Gen})
+		resolver = dnsCache
+		rblCache = dnscache.NewRBL(provider, clk, 0)
+		rblBackend = rblCache
+	}
+
 	av := filters.NewAntivirus()
 	if inj != nil {
 		av.SetInjector(inj)
@@ -97,7 +113,7 @@ func main() {
 	chain := filters.NewChain(
 		harden(filters.NewReputation(rep), filters.FailOpen),
 		harden(av, filters.FailClosed),
-		harden(filters.NewRBL(provider), filters.FailOpen),
+		harden(filters.NewRBL(rblBackend), filters.FailOpen),
 	)
 	wl := whitelist.NewStore(clk)
 	saver := &store.Saver{Path: *statePath, Name: "crserver", Injector: inj}
@@ -140,7 +156,7 @@ func main() {
 			queue.Enqueue(ch)
 		}
 	}
-	eng := core.New(cfg, clk, dns, chain, wl, sendChallenge)
+	eng := core.New(cfg, clk, resolver, chain, wl, sendChallenge)
 	eng.SetReputation(rep)
 	inboxes := mailbox.NewStore()
 	eng.SetInboxSink(inboxes.Sink())
@@ -166,7 +182,9 @@ func main() {
 		log.Printf("web server on %s (challenge pages, /digest/<user>, /mbox/<user>, /reputation, /metrics)", *httpAddr)
 		mux := http.NewServeMux()
 		mux.Handle("/challenge/", eng.Captcha().Handler())
-		admin := adminui.New(eng).Handler()
+		ui := adminui.New(eng)
+		ui.SetResolverCaches(dnsCache, rblCache)
+		admin := ui.Handler()
 		mux.Handle("/digest/", admin)
 		mux.Handle("/metrics", admin)
 		mux.Handle("/reputation", admin)

@@ -22,18 +22,28 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/dnscache"
 	"repro/internal/mail"
 	"repro/internal/reputation"
 )
 
 // Server renders the digest UI for one engine.
 type Server struct {
-	engine *core.Engine
+	engine   *core.Engine
+	dnsCache *dnscache.Cache
+	rblCache *dnscache.RBLCache
 }
 
 // New returns the admin UI over engine.
 func New(engine *core.Engine) *Server {
 	return &Server{engine: engine}
+}
+
+// SetResolverCaches registers the process's resolver caches so /metrics
+// reports their hit rates (either may be nil).
+func (s *Server) SetResolverCaches(dns *dnscache.Cache, rbl *dnscache.RBLCache) {
+	s.dnsCache = dns
+	s.rblCache = rbl
 }
 
 var digestTmpl = template.Must(template.New("digest").Parse(`<!DOCTYPE html>
@@ -186,6 +196,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	for via, n := range m.Delivered {
 		fmt.Fprintf(w, "delivered_%s %d\n", via, n)
+	}
+	if s.dnsCache != nil {
+		st := s.dnsCache.Stats()
+		fmt.Fprintf(w, "dns_cache_lookups %d\n", st.Lookups())
+		fmt.Fprintf(w, "dns_cache_hits %d\n", st.Hits)
+		fmt.Fprintf(w, "dns_cache_negative_hits %d\n", st.NegHits)
+		fmt.Fprintf(w, "dns_cache_coalesced %d\n", st.Coalesced)
+		fmt.Fprintf(w, "dns_cache_hit_rate %.4f\n", st.HitRate())
+		fmt.Fprintf(w, "dns_cache_entries %d\n", s.dnsCache.Len())
+	}
+	if s.rblCache != nil {
+		st := s.rblCache.Stats()
+		fmt.Fprintf(w, "rbl_cache_lookups %d\n", st.Lookups())
+		fmt.Fprintf(w, "rbl_cache_hits %d\n", st.Hits)
+		fmt.Fprintf(w, "rbl_cache_hit_rate %.4f\n", st.HitRate())
 	}
 }
 

@@ -67,6 +67,18 @@ func (s *Sim) Set(t time.Time) {
 	s.now = t
 }
 
+// AdvanceTo is a monotone Set: it jumps the clock to t if t is later
+// than the current time and is a no-op otherwise. Epoch barriers use it
+// to bring a shared clock up to the barrier time without having to know
+// whether some drained event already moved it there.
+func (s *Sim) AdvanceTo(t time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t.After(s.now) {
+		s.now = t
+	}
+}
+
 // event is a scheduled callback.
 type event struct {
 	at  time.Time

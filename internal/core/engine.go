@@ -578,7 +578,12 @@ func (e *Engine) resolverOK(domain string) (ok, degraded bool) {
 // carries temporary resolver failures only; authoritative negatives
 // return (false, nil).
 func (e *Engine) lookupResolvable(domain string) (bool, error) {
-	if s, ok := e.resolver.(*dnssim.Server); ok {
+	// Both dnssim.Server and the dnscache layer expose the combined
+	// "any record at all" probe; assert on the capability, not the type,
+	// so a cache can front the resolver transparently.
+	if s, ok := e.resolver.(interface {
+		ResolvableErr(domain string) (bool, error)
+	}); ok {
 		return s.ResolvableErr(domain)
 	}
 	if _, err := e.resolver.LookupMX(domain); err == nil {

@@ -1,0 +1,437 @@
+// Package dnscache puts a TTL cache with negative caching and
+// single-flight collapse in front of the simulated resolver, and an
+// equivalent memoized lookup in front of an RBL provider.
+//
+// Real MTAs lean on resolver caches: sender-infrastructure lookups are
+// dominated by repeated queries for the same handful of domains and IPs
+// (the same observation drives the aggregated-history spam detectors in
+// the literature). The fleet driver exhibits exactly that skew — every
+// message from a legitimate domain re-resolves "mail.<domain>", every
+// probe chain re-queries the same blocklist for the same botnet IPs —
+// so a small cache removes most simulated-resolver traffic from the
+// per-message hot path.
+//
+// Coherence rules (see DESIGN.md §8):
+//
+//   - Entries expire on the *virtual* clock, never the wall clock.
+//   - Both backends expose a generation counter that increments on every
+//     mutation (dnssim.Server.Gen: record changes, RemoveDomain,
+//     FailDomain, injector swaps; rbl.Provider.Gen: listing/delisting
+//     events). Each lookup compares generations and flushes the whole
+//     cache on change, so a cached answer can never mask a mutation.
+//   - Temporary failures (timeouts, injected outages) are never cached:
+//     the caller must see every one, or fault injection would be
+//     silently absorbed. Authoritative negatives (NXDOMAIN / no such
+//     record) are cached with a shorter TTL, as real resolvers do
+//     (RFC 2308).
+package dnscache
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/dnssim"
+	"repro/internal/rbl"
+)
+
+// Default lifetimes. Both are shorter than the fleet's one-hour epoch,
+// so every entry naturally expires across an epoch barrier and cached
+// state never leaks ordering effects between epochs.
+const (
+	DefaultTTL    = 30 * time.Minute
+	DefaultNegTTL = 10 * time.Minute
+)
+
+// Stats counts cache outcomes. All counters are totals since creation.
+type Stats struct {
+	Hits      int64 // served from a live entry without touching the backend
+	NegHits   int64 // subset of Hits answered from a cached negative
+	Misses    int64 // went to the backend
+	Coalesced int64 // waited on another goroutine's in-flight fetch
+}
+
+// Lookups returns the total number of cache consultations.
+func (s Stats) Lookups() int64 { return s.Hits + s.Misses + s.Coalesced }
+
+// HitRate returns the fraction of lookups that avoided a backend query
+// (plain hits plus coalesced waiters). Zero when nothing was looked up.
+func (s Stats) HitRate() float64 {
+	t := s.Lookups()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Coalesced) / float64(t)
+}
+
+// Options configures a Cache.
+type Options struct {
+	// Clock supplies the (virtual) time entries age against. Required.
+	Clock clock.Clock
+	// TTL is the positive-answer lifetime; DefaultTTL if zero.
+	TTL time.Duration
+	// NegTTL is the authoritative-negative lifetime; DefaultNegTTL if zero.
+	NegTTL time.Duration
+	// Gen, when non-nil, is polled on every lookup; a change flushes the
+	// entire cache. Wire it to dnssim.Server.Gen so RemoveDomain,
+	// FailDomain and fault-plan transitions invalidate immediately.
+	Gen func() uint64
+}
+
+// entry holds one cached answer. Fields are written only by the fetching
+// goroutine while it holds mu, and are immutable once ready is set;
+// expiry replaces the entry rather than mutating it, so callers may read
+// the answer slices without holding any lock (but must not mutate them).
+type entry struct {
+	mu    sync.Mutex
+	ready bool
+	neg   bool      // cached negative (uses NegTTL)
+	exp   time.Time // expiry on the virtual clock
+	err   error     // cached authoritative error (NXDOMAIN / no record)
+
+	list []string // A / TXT answers
+	mxs  []dnssim.MX
+	host string // PTR answer
+	ok   bool   // Resolvable answer
+}
+
+// Cache is a read-through TTL cache over a dnssim.Resolver. It
+// implements dnssim.Resolver itself (plus ResolvableErr), so it can be
+// dropped in anywhere a resolver is accepted — core.Engine, the
+// reverse-DNS filter, spf.Checker, the workload generator.
+type Cache struct {
+	backend dnssim.Resolver
+	opts    Options
+
+	mu      sync.Mutex
+	gen     uint64
+	entries map[string]*entry
+	stats   Stats
+}
+
+// New returns a cache over backend. Options.Clock is required.
+func New(backend dnssim.Resolver, opts Options) *Cache {
+	if opts.Clock == nil {
+		panic("dnscache: Options.Clock is required")
+	}
+	if opts.TTL <= 0 {
+		opts.TTL = DefaultTTL
+	}
+	if opts.NegTTL <= 0 {
+		opts.NegTTL = DefaultNegTTL
+	}
+	c := &Cache{backend: backend, opts: opts, entries: make(map[string]*entry)}
+	if opts.Gen != nil {
+		c.gen = opts.Gen()
+	}
+	return c
+}
+
+// checkGenLocked flushes the cache if the backend generation moved.
+// Caller holds c.mu.
+func (c *Cache) checkGenLocked() {
+	if c.opts.Gen == nil {
+		return
+	}
+	if g := c.opts.Gen(); g != c.gen {
+		c.gen = g
+		c.entries = make(map[string]*entry)
+	}
+}
+
+// do returns the live entry for key, fetching it at most once per
+// expiry/flush regardless of how many goroutines ask concurrently
+// (per-entry-mutex single-flight: the fetcher publishes the entry with
+// its lock held, so same-key lookups queue behind the one backend call).
+func (c *Cache) do(key string, fetch func(*entry) error) (*entry, error) {
+	for {
+		c.mu.Lock()
+		c.checkGenLocked()
+		e := c.entries[key]
+		if e == nil {
+			e = &entry{}
+			e.mu.Lock() // we are the fetcher; publish locked
+			c.entries[key] = e
+			c.stats.Misses++
+			c.mu.Unlock()
+
+			err := fetch(e)
+			if err != nil && dnssim.IsTemporary(err) {
+				// Never cache a transient failure: unpublish so the
+				// next lookup retries the backend, and surface it.
+				e.mu.Unlock()
+				c.mu.Lock()
+				if c.entries[key] == e {
+					delete(c.entries, key)
+				}
+				c.mu.Unlock()
+				return nil, err
+			}
+			e.err = err
+			e.neg = e.neg || err != nil
+			ttl := c.opts.TTL
+			if e.neg {
+				ttl = c.opts.NegTTL
+			}
+			e.exp = c.opts.Clock.Now().Add(ttl)
+			e.ready = true
+			e.mu.Unlock()
+			return e, err
+		}
+		coalesced := !e.readyNow()
+		if coalesced {
+			c.stats.Coalesced++
+		}
+		c.mu.Unlock()
+
+		e.mu.Lock() // blocks while a fetch for this key is in flight
+		if !e.ready {
+			// The fetcher hit a temporary error and unpublished the
+			// entry while we waited; retry from the top.
+			e.mu.Unlock()
+			continue
+		}
+		expired := !c.opts.Clock.Now().Before(e.exp)
+		neg, err := e.neg, e.err
+		e.mu.Unlock()
+
+		if expired {
+			c.mu.Lock()
+			if c.entries[key] == e {
+				delete(c.entries, key)
+			}
+			// Undo the optimistic hit/coalesced accounting? We counted
+			// nothing yet for the non-coalesced path, and a coalesced
+			// wait that lands on an expired entry still collapsed into
+			// the earlier fetch, so the counter stands.
+			c.mu.Unlock()
+			continue
+		}
+		if !coalesced {
+			c.mu.Lock()
+			c.stats.Hits++
+			if neg {
+				c.stats.NegHits++
+			}
+			c.mu.Unlock()
+		}
+		return e, err
+	}
+}
+
+// readyNow reports whether the entry's fetch has completed, without
+// blocking on an in-flight fetch.
+func (e *entry) readyNow() bool {
+	if !e.mu.TryLock() {
+		return false
+	}
+	r := e.ready
+	e.mu.Unlock()
+	return r
+}
+
+// LookupA implements dnssim.Resolver. Callers must not mutate the
+// returned slice.
+func (c *Cache) LookupA(host string) ([]string, error) {
+	e, err := c.do("a:"+host, func(e *entry) error {
+		v, err := c.backend.LookupA(host)
+		e.list = v
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return e.list, nil
+}
+
+// LookupMX implements dnssim.Resolver. Callers must not mutate the
+// returned slice.
+func (c *Cache) LookupMX(domain string) ([]dnssim.MX, error) {
+	e, err := c.do("mx:"+domain, func(e *entry) error {
+		v, err := c.backend.LookupMX(domain)
+		e.mxs = v
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return e.mxs, nil
+}
+
+// LookupPTR implements dnssim.Resolver.
+func (c *Cache) LookupPTR(ip string) (string, error) {
+	e, err := c.do("ptr:"+ip, func(e *entry) error {
+		v, err := c.backend.LookupPTR(ip)
+		e.host = v
+		return err
+	})
+	if err != nil {
+		return "", err
+	}
+	return e.host, nil
+}
+
+// LookupTXT implements dnssim.Resolver. Callers must not mutate the
+// returned slice.
+func (c *Cache) LookupTXT(domain string) ([]string, error) {
+	e, err := c.do("txt:"+domain, func(e *entry) error {
+		v, err := c.backend.LookupTXT(domain)
+		e.list = v
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return e.list, nil
+}
+
+// resolvableProber matches dnssim.Server's combined "any record at all"
+// probe with its temporary-failure channel.
+type resolvableProber interface {
+	ResolvableErr(domain string) (bool, error)
+}
+
+// ResolvableErr caches the MTA-IN sender-domain probe. An unresolvable
+// domain is the NXDOMAIN case and is cached with the negative TTL;
+// temporary resolver failures pass through uncached.
+func (c *Cache) ResolvableErr(domain string) (bool, error) {
+	e, err := c.do("res:"+domain, func(e *entry) error {
+		ok, err := c.probeResolvable(domain)
+		e.ok = ok
+		e.neg = err == nil && !ok
+		return err
+	})
+	if err != nil {
+		return false, err
+	}
+	return e.ok, nil
+}
+
+// Resolvable is ResolvableErr with the error folded into "no".
+func (c *Cache) Resolvable(domain string) bool {
+	ok, _ := c.ResolvableErr(domain)
+	return ok
+}
+
+func (c *Cache) probeResolvable(domain string) (bool, error) {
+	if p, ok := c.backend.(resolvableProber); ok {
+		return p.ResolvableErr(domain)
+	}
+	// Generic fallback: any MX or A record makes the domain resolvable;
+	// a temporary failure on either probe is surfaced, not cached.
+	if _, err := c.backend.LookupMX(domain); err == nil {
+		return true, nil
+	} else if dnssim.IsTemporary(err) {
+		return false, err
+	}
+	if _, err := c.backend.LookupA(domain); err == nil {
+		return true, nil
+	} else if dnssim.IsTemporary(err) {
+		return false, err
+	}
+	return false, nil
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len returns the number of live entries (expired ones included until
+// their next touch).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Flush drops every entry. Counters are preserved.
+func (c *Cache) Flush() {
+	c.mu.Lock()
+	c.entries = make(map[string]*entry)
+	c.mu.Unlock()
+}
+
+// RBLCache memoizes rbl.Provider.Query answers with a TTL on the virtual
+// clock and explicit invalidation on blacklist/delist events via the
+// provider's generation counter. It satisfies the filters.RBLBackend
+// surface, so filters.NewRBL accepts it in place of the raw provider.
+type RBLCache struct {
+	p   *rbl.Provider
+	clk clock.Clock
+	ttl time.Duration
+
+	mu      sync.Mutex
+	gen     uint64
+	entries map[string]rblEntry
+	stats   Stats
+}
+
+type rblEntry struct {
+	listed bool
+	exp    time.Time
+}
+
+// NewRBL returns a memoizing cache over p. ttl <= 0 selects DefaultTTL.
+func NewRBL(p *rbl.Provider, clk clock.Clock, ttl time.Duration) *RBLCache {
+	if clk == nil {
+		panic("dnscache: NewRBL requires a clock")
+	}
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	return &RBLCache{p: p, clk: clk, ttl: ttl, gen: p.Gen(), entries: make(map[string]rblEntry)}
+}
+
+// Name returns the underlying provider's name.
+func (c *RBLCache) Name() string { return c.p.Name() }
+
+// Query returns the memoized listing state for ip. Errors (injected
+// outages/timeouts) are never cached. A provider mutation between cache
+// consultations flushes every memo, so a fresh listing or an expired one
+// is visible on the very next query.
+func (c *RBLCache) Query(ip string) (bool, error) {
+	c.mu.Lock()
+	c.checkGenLocked()
+	if e, ok := c.entries[ip]; ok && c.clk.Now().Before(e.exp) {
+		c.stats.Hits++
+		if !e.listed {
+			c.stats.NegHits++
+		}
+		c.mu.Unlock()
+		return e.listed, nil
+	}
+	c.stats.Misses++
+	gen := c.gen
+	c.mu.Unlock()
+
+	listed, err := c.p.Query(ip)
+	if err != nil {
+		return false, err
+	}
+
+	c.mu.Lock()
+	// Store only if the provider did not mutate while we queried;
+	// otherwise our answer may already be stale.
+	if c.p.Gen() == gen {
+		c.entries[ip] = rblEntry{listed: listed, exp: c.clk.Now().Add(c.ttl)}
+	}
+	c.mu.Unlock()
+	return listed, nil
+}
+
+func (c *RBLCache) checkGenLocked() {
+	if g := c.p.Gen(); g != c.gen {
+		c.gen = g
+		c.entries = make(map[string]rblEntry)
+	}
+}
+
+// Stats returns a snapshot of the memo counters.
+func (c *RBLCache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

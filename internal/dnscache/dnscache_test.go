@@ -1,0 +1,268 @@
+package dnscache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/dnssim"
+	"repro/internal/rbl"
+)
+
+var t0 = time.Date(2004, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// countingResolver wraps a Server and counts backend calls per method so
+// tests can assert exactly how many lookups reached the backend.
+type countingResolver struct {
+	*dnssim.Server
+	a, mx, ptr, txt, res atomic.Int64
+}
+
+func (c *countingResolver) LookupA(h string) ([]string, error) {
+	c.a.Add(1)
+	return c.Server.LookupA(h)
+}
+func (c *countingResolver) LookupMX(d string) ([]dnssim.MX, error) {
+	c.mx.Add(1)
+	return c.Server.LookupMX(d)
+}
+func (c *countingResolver) LookupPTR(ip string) (string, error) {
+	c.ptr.Add(1)
+	return c.Server.LookupPTR(ip)
+}
+func (c *countingResolver) LookupTXT(d string) ([]string, error) {
+	c.txt.Add(1)
+	return c.Server.LookupTXT(d)
+}
+func (c *countingResolver) ResolvableErr(d string) (bool, error) {
+	c.res.Add(1)
+	return c.Server.ResolvableErr(d)
+}
+
+func newFixture() (*countingResolver, *clock.Sim, *Cache) {
+	srv := dnssim.NewServer()
+	srv.AddA("mail.example.com", "10.0.0.1")
+	back := &countingResolver{Server: srv}
+	clk := clock.NewSim(t0)
+	// Gen reads through to the wrapped server so mutations invalidate.
+	c := New(back, Options{Clock: clk, TTL: 30 * time.Minute, NegTTL: 10 * time.Minute, Gen: srv.Gen})
+	return back, clk, c
+}
+
+func TestTTLExpiry(t *testing.T) {
+	back, clk, c := newFixture()
+
+	for i := 0; i < 5; i++ {
+		ips, err := c.LookupA("mail.example.com")
+		if err != nil || len(ips) != 1 || ips[0] != "10.0.0.1" {
+			t.Fatalf("lookup %d: got %v, %v", i, ips, err)
+		}
+	}
+	if got := back.a.Load(); got != 1 {
+		t.Fatalf("backend A queries before expiry = %d, want 1", got)
+	}
+
+	clk.Advance(29 * time.Minute)
+	if _, err := c.LookupA("mail.example.com"); err != nil {
+		t.Fatal(err)
+	}
+	if got := back.a.Load(); got != 1 {
+		t.Fatalf("entry expired early: %d backend queries", got)
+	}
+
+	clk.Advance(time.Minute) // exactly at TTL: entry is dead
+	if _, err := c.LookupA("mail.example.com"); err != nil {
+		t.Fatal(err)
+	}
+	if got := back.a.Load(); got != 2 {
+		t.Fatalf("backend A queries after expiry = %d, want 2", got)
+	}
+
+	st := c.Stats()
+	if st.Misses != 2 || st.Hits != 5 {
+		t.Fatalf("stats = %+v, want 2 misses / 5 hits", st)
+	}
+	if hr := st.HitRate(); hr < 0.7 || hr > 0.72 {
+		t.Fatalf("hit rate = %v, want 5/7", hr)
+	}
+}
+
+func TestNegativeCacheHits(t *testing.T) {
+	back, clk, c := newFixture()
+
+	_, err1 := c.LookupA("nosuch.example.net")
+	if !errors.Is(err1, dnssim.ErrNXDomain) {
+		t.Fatalf("first lookup error = %v, want NXDOMAIN", err1)
+	}
+	_, err2 := c.LookupA("nosuch.example.net")
+	if !errors.Is(err2, dnssim.ErrNXDomain) {
+		t.Fatalf("second lookup error = %v, want NXDOMAIN", err2)
+	}
+	if got := back.a.Load(); got != 1 {
+		t.Fatalf("NXDOMAIN not negative-cached: %d backend queries", got)
+	}
+	if st := c.Stats(); st.NegHits != 1 {
+		t.Fatalf("NegHits = %d, want 1", st.NegHits)
+	}
+
+	// Unresolvable-domain probes are negatives too, with the shorter TTL.
+	if ok, err := c.ResolvableErr("nosuch.example.net"); ok || err != nil {
+		t.Fatalf("ResolvableErr = %v, %v", ok, err)
+	}
+	if ok, _ := c.ResolvableErr("nosuch.example.net"); ok {
+		t.Fatal("cached resolvable answer changed")
+	}
+	if got := back.res.Load(); got != 1 {
+		t.Fatalf("resolvable probes = %d, want 1", got)
+	}
+
+	// Negative entries use NegTTL, not the (longer) positive TTL.
+	clk.Advance(10 * time.Minute)
+	if _, err := c.LookupA("nosuch.example.net"); !errors.Is(err, dnssim.ErrNXDomain) {
+		t.Fatalf("post-expiry error = %v", err)
+	}
+	if got := back.a.Load(); got != 2 {
+		t.Fatalf("negative entry outlived NegTTL: %d backend queries", got)
+	}
+}
+
+// blockingResolver parks every LookupA until release is closed, so a
+// test can pile goroutines onto one in-flight fetch.
+type blockingResolver struct {
+	release chan struct{}
+	started chan struct{} // receives one token per backend call
+	calls   atomic.Int64
+}
+
+func (b *blockingResolver) LookupA(string) ([]string, error) {
+	b.calls.Add(1)
+	b.started <- struct{}{}
+	<-b.release
+	return []string{"10.9.9.9"}, nil
+}
+func (b *blockingResolver) LookupMX(string) ([]dnssim.MX, error) { return nil, dnssim.ErrNoRecord }
+func (b *blockingResolver) LookupPTR(string) (string, error)     { return "", dnssim.ErrNXDomain }
+func (b *blockingResolver) LookupTXT(string) ([]string, error)   { return nil, dnssim.ErrNoRecord }
+
+func TestSingleflightCollapse(t *testing.T) {
+	back := &blockingResolver{release: make(chan struct{}), started: make(chan struct{}, 16)}
+	c := New(back, Options{Clock: clock.NewSim(t0)})
+
+	const n = 8
+	var wg sync.WaitGroup
+	results := make([][]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ips, err := c.LookupA("hot.example.com")
+			if err != nil {
+				t.Errorf("goroutine %d: %v", i, err)
+			}
+			results[i] = ips
+		}(i)
+	}
+
+	<-back.started // one fetch reached the backend
+	close(back.release)
+	wg.Wait()
+
+	if got := back.calls.Load(); got != 1 {
+		t.Fatalf("backend calls = %d, want 1 (stampede not collapsed)", got)
+	}
+	for i, r := range results {
+		if len(r) != 1 || r[0] != "10.9.9.9" {
+			t.Fatalf("goroutine %d got %v", i, r)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", st.Misses)
+	}
+	if st.Lookups() != n {
+		t.Fatalf("lookups = %d, want %d", st.Lookups(), n)
+	}
+}
+
+func TestInvalidationOnInjectedFault(t *testing.T) {
+	back, _, c := newFixture()
+	srv := back.Server
+
+	// Warm the cache with healthy answers.
+	if ok, err := c.ResolvableErr("mail.example.com"); !ok || err != nil {
+		t.Fatalf("warm probe = %v, %v", ok, err)
+	}
+	if _, err := c.LookupA("mail.example.com"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Inject a fault: the cache must surface it immediately, not serve
+	// the stale positive.
+	srv.FailDomain("mail.example.com", dnssim.ErrTimeout)
+	for i := 0; i < 2; i++ {
+		ok, err := c.ResolvableErr("mail.example.com")
+		if ok || err == nil || !dnssim.IsTemporary(err) {
+			t.Fatalf("probe %d under fault = %v, %v; want temporary error", i, ok, err)
+		}
+	}
+	// Both probes must have reached the backend: temporary failures are
+	// never cached.
+	if got := back.res.Load(); got != 3 {
+		t.Fatalf("resolvable probes = %d, want 3 (1 warm + 2 faulted)", got)
+	}
+
+	// Clearing the fault (another mutation) restores service at once.
+	srv.FailDomain("mail.example.com", nil)
+	if ok, err := c.ResolvableErr("mail.example.com"); !ok || err != nil {
+		t.Fatalf("post-clear probe = %v, %v", ok, err)
+	}
+
+	// RemoveDomain must flip a cached positive to NXDOMAIN immediately.
+	srv.RemoveDomain("mail.example.com")
+	if ok, _ := c.ResolvableErr("mail.example.com"); ok {
+		t.Fatal("cache masked RemoveDomain")
+	}
+	if _, err := c.LookupA("mail.example.com"); !errors.Is(err, dnssim.ErrNXDomain) {
+		t.Fatalf("LookupA after RemoveDomain = %v, want NXDOMAIN", err)
+	}
+}
+
+func TestRBLCacheMemoizationAndInvalidation(t *testing.T) {
+	clk := clock.NewSim(t0)
+	p := rbl.NewProvider("testlist", rbl.Policy{HitThreshold: 1, Window: time.Hour, ListingTTL: 2 * time.Hour}, clk)
+	c := NewRBL(p, clk, 30*time.Minute)
+
+	for i := 0; i < 4; i++ {
+		if listed, err := c.Query("10.1.1.1"); listed || err != nil {
+			t.Fatalf("query %d = %v, %v", i, listed, err)
+		}
+	}
+	if st := c.Stats(); st.Misses != 1 || st.Hits != 3 {
+		t.Fatalf("stats = %+v, want 1 miss / 3 hits", st)
+	}
+
+	// A new listing is a provider mutation: the memo must not mask it.
+	p.ReportTrapHit("10.1.1.1")
+	if listed, _ := c.Query("10.1.1.1"); !listed {
+		t.Fatal("memo masked a fresh listing")
+	}
+
+	// Static adds invalidate too.
+	if listed, _ := c.Query("10.2.2.2"); listed {
+		t.Fatal("unexpected listing")
+	}
+	p.AddStatic("10.2.2.2")
+	if listed, _ := c.Query("10.2.2.2"); !listed {
+		t.Fatal("memo masked AddStatic")
+	}
+
+	// Listing expiry on the virtual clock surfaces through the memo: the
+	// provider bumps its generation on the lazy delist.
+	clk.Advance(3 * time.Hour)
+	if listed, _ := c.Query("10.1.1.1"); listed {
+		t.Fatal("memo served an expired listing")
+	}
+}

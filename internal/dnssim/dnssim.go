@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/faults"
@@ -78,6 +79,9 @@ type Server struct {
 	inj     faults.Injector   // optional whole-resolver fault source
 	timeout time.Duration     // per-lookup deadline for injected latency
 	stats   Stats
+	// gen counts zone-data mutations so caching layers (internal/dnscache)
+	// can invalidate without subscribing to every mutation site.
+	gen atomic.Uint64
 }
 
 // Stats counts queries served, for the measurement pipeline.
@@ -110,7 +114,15 @@ func (s *Server) SetInjector(inj faults.Injector) {
 	s.mu.Lock()
 	s.inj = inj
 	s.mu.Unlock()
+	s.gen.Add(1)
 }
+
+// Gen returns the zone-data generation, which increments on every
+// mutation (record registration, RemoveDomain, FailDomain, injector
+// changes). A resolver cache compares generations on each lookup and
+// flushes on change, so an injected fault or a deleted domain is never
+// masked by a stale cached answer.
+func (s *Server) Gen() uint64 { return s.gen.Load() }
 
 // SetQueryTimeout overrides the per-lookup deadline (default 5s).
 func (s *Server) SetQueryTimeout(d time.Duration) {
@@ -156,6 +168,7 @@ func (s *Server) AddA(host string, ips ...string) {
 	defer s.mu.Unlock()
 	z := s.zoneFor(host, true)
 	z.a = append(z.a, ips...)
+	s.gen.Add(1)
 }
 
 // AddMX registers a mail exchanger for domain.
@@ -165,6 +178,7 @@ func (s *Server) AddMX(domain, host string, pref int) {
 	z := s.zoneFor(domain, true)
 	z.mx = append(z.mx, MX{Host: host, Pref: pref})
 	sort.SliceStable(z.mx, func(i, j int) bool { return z.mx[i].Pref < z.mx[j].Pref })
+	s.gen.Add(1)
 }
 
 // AddPTR registers a reverse mapping for ip.
@@ -172,6 +186,7 @@ func (s *Server) AddPTR(ip, host string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.ptr[ip] = key(host)
+	s.gen.Add(1)
 }
 
 // AddTXT appends a TXT record for domain (e.g. an SPF policy).
@@ -180,6 +195,7 @@ func (s *Server) AddTXT(domain, txt string) {
 	defer s.mu.Unlock()
 	z := s.zoneFor(domain, true)
 	z.txt = append(z.txt, txt)
+	s.gen.Add(1)
 }
 
 // RemoveDomain deletes every record of domain, turning future queries into
@@ -188,6 +204,7 @@ func (s *Server) RemoveDomain(domain string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.zones, key(domain))
+	s.gen.Add(1)
 }
 
 // FailDomain injects err for all queries about domain (pass nil to clear).
@@ -195,6 +212,7 @@ func (s *Server) RemoveDomain(domain string) {
 func (s *Server) FailDomain(domain string, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.gen.Add(1)
 	if err == nil {
 		delete(s.fail, key(domain))
 		return

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestWorkerCountInvariance is the parallel-fleet determinism contract:
+// the same seed must produce bit-for-bit identical results whether the
+// fleet runs serially or on a worker pool. Companies execute on
+// independent lanes with derived RNG streams and join at hourly epoch
+// barriers, so the worker count can only change scheduling, never
+// outcomes.
+func TestWorkerCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full Quick runs")
+	}
+	cfgSerial := Quick(7)
+	cfgSerial.Workers = 1
+	cfgParallel := Quick(7)
+	cfgParallel.Workers = 8
+
+	serial := NewRun(cfgSerial)
+	parallel := NewRun(cfgParallel)
+
+	lcS, lcP := Lifecycle(serial), Lifecycle(parallel)
+	if !reflect.DeepEqual(lcS, lcP) {
+		t.Errorf("Lifecycle diverges across worker counts:\nworkers=1: %+v\nworkers=8: %+v", lcS, lcP)
+	}
+	gS, gP := General(serial), General(parallel)
+	if !reflect.DeepEqual(gS, gP) {
+		t.Errorf("General diverges across worker counts:\nworkers=1: %+v\nworkers=8: %+v", gS, gP)
+	}
+	ccS, ccP := serial.Fleet.ClassCounts(), parallel.Fleet.ClassCounts()
+	if !reflect.DeepEqual(ccS, ccP) {
+		t.Errorf("class counts diverge across worker counts:\nworkers=1: %v\nworkers=8: %v", ccS, ccP)
+	}
+}

@@ -368,8 +368,8 @@ func RateCapAblation(seed int64, companies, days, capPerHour int) RateCapResult 
 		cfg := workload.DefaultConfig(seed, companies)
 		cfg.ChallengeCapPerHour = cap
 		for i := range cfg.Profiles {
-			cfg.Profiles[i].Users = maxInt(5, cfg.Profiles[i].Users/8)
-			cfg.Profiles[i].DailyVolume = maxInt(200, cfg.Profiles[i].DailyVolume/6)
+			cfg.Profiles[i].Users = max(5, cfg.Profiles[i].Users/8)
+			cfg.Profiles[i].DailyVolume = max(200, cfg.Profiles[i].DailyVolume/6)
 		}
 		fleet := workload.NewFleet(cfg)
 		fleet.Run(days)
@@ -419,8 +419,8 @@ func GreylistAblation(seed int64, companies, days int) GreylistResult {
 		cfg := workload.DefaultConfig(seed, companies)
 		cfg.UseGreylisting = useGrey
 		for i := range cfg.Profiles {
-			cfg.Profiles[i].Users = maxInt(5, cfg.Profiles[i].Users/8)
-			cfg.Profiles[i].DailyVolume = maxInt(100, cfg.Profiles[i].DailyVolume/12)
+			cfg.Profiles[i].Users = max(5, cfg.Profiles[i].Users/8)
+			cfg.Profiles[i].DailyVolume = max(100, cfg.Profiles[i].DailyVolume/12)
 		}
 		fleet := workload.NewFleet(cfg)
 		fleet.Run(days)
@@ -472,8 +472,8 @@ func SPFOnline(seed int64, companies, days int) SPFOnlineResult {
 		cfg := workload.DefaultConfig(seed, companies)
 		cfg.UseSPFFilter = useSPF
 		for i := range cfg.Profiles {
-			cfg.Profiles[i].Users = maxInt(5, cfg.Profiles[i].Users/8)
-			cfg.Profiles[i].DailyVolume = maxInt(100, cfg.Profiles[i].DailyVolume/12)
+			cfg.Profiles[i].Users = max(5, cfg.Profiles[i].Users/8)
+			cfg.Profiles[i].DailyVolume = max(100, cfg.Profiles[i].DailyVolume/12)
 		}
 		fleet := workload.NewFleet(cfg)
 		fleet.Run(days)

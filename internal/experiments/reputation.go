@@ -93,8 +93,8 @@ func ReputationAblation(seed int64, companies, days int) ReputationResult {
 		cfg := workload.DefaultConfig(seed, companies)
 		cfg.UseReputation = useRep
 		for i := range cfg.Profiles {
-			cfg.Profiles[i].Users = maxInt(5, cfg.Profiles[i].Users/8)
-			cfg.Profiles[i].DailyVolume = maxInt(100, cfg.Profiles[i].DailyVolume/12)
+			cfg.Profiles[i].Users = max(5, cfg.Profiles[i].Users/8)
+			cfg.Profiles[i].DailyVolume = max(100, cfg.Profiles[i].DailyVolume/12)
 		}
 		fleet := workload.NewFleet(cfg)
 		fleet.Run(days)

@@ -34,6 +34,10 @@ type RunConfig struct {
 	// FaultPlan, when non-nil, runs the whole workload under the
 	// internal/faults injection layer (the chaos experiment).
 	FaultPlan *faults.Plan
+	// Workers is the fleet worker-pool size (see workload.Config.Workers):
+	// 0 means GOMAXPROCS, 1 runs serially; results are identical for
+	// every value.
+	Workers int
 }
 
 // Quick is the preset used by unit tests and benchmarks: small but large
@@ -72,21 +76,15 @@ func NewRun(cfg RunConfig) *Run {
 	mail.ResetIDCounter()
 	wcfg := workload.DefaultConfig(cfg.Seed, cfg.Companies)
 	wcfg.FaultPlan = cfg.FaultPlan
+	wcfg.Workers = cfg.Workers
 	for i := range wcfg.Profiles {
 		p := &wcfg.Profiles[i]
-		p.Users = maxInt(5, int(float64(p.Users)*cfg.UserScale))
-		p.DailyVolume = maxInt(100, int(float64(p.DailyVolume)*cfg.VolumeScale))
+		p.Users = max(5, int(float64(p.Users)*cfg.UserScale))
+		p.DailyVolume = max(100, int(float64(p.DailyVolume)*cfg.VolumeScale))
 	}
 	fleet := workload.NewFleet(wcfg)
 	fleet.Run(cfg.Days)
 	return &Run{Cfg: cfg, Fleet: fleet}
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // AggregateMetrics sums engine metrics across the fleet, split by relay

@@ -40,9 +40,12 @@ func Clustering(r *Run) ClusteringResult {
 	cfg := cluster.DefaultConfig()
 	// Scaled-down runs produce proportionally smaller campaigns; keep
 	// the paper's >=10-word rule but scale the >=50-message threshold
-	// with volume so the same campaigns qualify.
+	// with volume so the same campaigns qualify. The items clustered here
+	// are challenge records, and engines deduplicate challenges per
+	// sender, so cluster sizes grow sub-linearly in volume — scale the
+	// threshold less than proportionally.
 	if r.Cfg.VolumeScale < 1 {
-		cfg.MinSize = maxInt(10, int(50*r.Cfg.VolumeScale*4))
+		cfg.MinSize = max(10, int(50*r.Cfg.VolumeScale*3))
 	}
 	clusters := cluster.Build(items, cfg)
 	out := ClusteringResult{Stats: cluster.Summarize(clusters)}

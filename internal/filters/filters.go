@@ -204,14 +204,26 @@ func (f *ReverseDNS) Probe(msg *mail.Message) (Result, error) {
 	return Result{Verdict: Pass}, nil
 }
 
+// RBLBackend is the lookup surface the RBL filter needs. *rbl.Provider
+// implements it directly; dnscache.RBLCache memoizes it with a TTL on
+// the virtual clock.
+type RBLBackend interface {
+	Name() string
+	Query(ip string) (bool, error)
+}
+
+// Interface check: the raw provider must keep satisfying the backend
+// surface so existing call sites compile unchanged.
+var _ RBLBackend = (*rbl.Provider)(nil)
+
 // RBL drops messages whose client IP is listed on the configured
 // blocklist (SpamHaus in the product under study).
 type RBL struct {
-	provider *rbl.Provider
+	provider RBLBackend
 }
 
 // NewRBL returns the IP-blacklist filter backed by provider.
-func NewRBL(provider *rbl.Provider) *RBL {
+func NewRBL(provider RBLBackend) *RBL {
 	return &RBL{provider: provider}
 }
 

@@ -74,6 +74,26 @@ func NewID(prefix string) string {
 // drivers call it so message IDs are stable across runs.
 func ResetIDCounter() { idCounter.Store(0) }
 
+// IDSource is a deterministic per-stream ID generator in the same
+// "<prefix>-%06d" format as NewID, but with its own private sequence.
+// Parallel simulation lanes each own one (prefixed with a lane-unique
+// name), so IDs stay globally unique and identical across worker counts
+// without sharing the process-wide counter. Not safe for concurrent use;
+// a lane is single-threaded by construction.
+type IDSource struct {
+	prefix string
+	n      uint64
+}
+
+// NewIDSource returns an IDSource issuing "<prefix>-000001", ….
+func NewIDSource(prefix string) *IDSource { return &IDSource{prefix: prefix} }
+
+// Next returns the next ID in the stream.
+func (s *IDSource) Next() string {
+	s.n++
+	return fmt.Sprintf("%s-%06d", s.prefix, s.n)
+}
+
 // SubjectWords returns the number of whitespace-separated words in the
 // subject. The §4.1 clustering only considers subjects of at least 10
 // words to keep the false-merge probability negligible.

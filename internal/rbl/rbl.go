@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
@@ -66,6 +67,10 @@ type Provider struct {
 	manual   map[string]bool        // permanently listed (known spammers)
 	history  map[string][]Interval  // completed + open listing intervals
 	stale    int64                  // queries answered from "stale" data
+	// gen counts listing-state mutations (new listings, extensions, lazy
+	// delists, static adds, injector changes) so a memoizing lookup layer
+	// can invalidate on blacklist/delist events instead of polling.
+	gen atomic.Uint64
 }
 
 // Interval is a half-open listing period; Until is zero while still listed.
@@ -99,7 +104,14 @@ func (p *Provider) SetInjector(inj faults.Injector) {
 	p.mu.Lock()
 	p.inj = inj
 	p.mu.Unlock()
+	p.gen.Add(1)
 }
+
+// Gen returns the listing-state generation; it increments whenever the
+// answer Query could give for some IP changes (listing, extension,
+// expiry, static add, injector swap). Cache layers compare generations
+// per lookup and flush on change.
+func (p *Provider) Gen() uint64 { return p.gen.Load() }
 
 // Query is the fallible lookup the CR filter chain uses: it consults the
 // injector and returns an error for an injected outage/timeout, a stale
@@ -136,8 +148,9 @@ func (p *Provider) StaleAnswers() int64 {
 // "known spammer" population that the product's RBL filter catches.
 func (p *Provider) AddStatic(ip string) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.manual[ip] = true
+	p.mu.Unlock()
+	p.gen.Add(1)
 }
 
 // ReportTrapHit records that ip delivered a message to a spamtrap and
@@ -160,11 +173,13 @@ func (p *Provider) ReportTrapHit(ip string) {
 	if until, listed := p.listings[ip]; listed && until.After(now) {
 		// Already listed: extend.
 		p.listings[ip] = now.Add(p.policy.ListingTTL)
+		p.gen.Add(1)
 		return
 	}
 	if len(recent) >= p.policy.HitThreshold {
 		p.listings[ip] = now.Add(p.policy.ListingTTL)
 		p.history[ip] = append(p.history[ip], Interval{From: now})
+		p.gen.Add(1)
 	}
 }
 
@@ -181,11 +196,15 @@ func (p *Provider) IsListed(ip string) bool {
 		return false
 	}
 	if !until.After(now) {
-		// Expired: close the history interval lazily.
+		// Expired: close the history interval lazily. The gen bump lets
+		// cache layers drop the now-stale "listed" answer for this IP;
+		// re-deriving the answer at the same virtual time is idempotent,
+		// so concurrent readers racing this delete still agree.
 		delete(p.listings, ip)
 		if h := p.history[ip]; len(h) > 0 && h[len(h)-1].Until.IsZero() {
 			h[len(h)-1].Until = until
 		}
+		p.gen.Add(1)
 		return false
 	}
 	return true

@@ -92,6 +92,35 @@ type Company struct {
 	// of the study's installations used a second IP here to shield user
 	// mail from challenge-induced blacklisting (§5.1).
 	MailIP string
+
+	// lane is the company's private execution context when the fleet
+	// drives companies in parallel (AttachCompanyLane); nil for
+	// companies attached with AttachCompany, which share the network's
+	// global clock/scheduler/RNG.
+	lane *lane
+}
+
+// lane holds the per-company clock, scheduler, RNG stream and ID source
+// used under epoch-barrier parallel execution, plus the buffer of trap
+// hits deferred to the next barrier. A lane is only ever touched by the
+// one worker advancing its company within an epoch (and by the barrier
+// flush, which the worker-pool join sequences after), so it needs no
+// locking of its own.
+type lane struct {
+	clk      *clock.Sim
+	sched    *clock.Scheduler
+	rng      *rand.Rand
+	ids      *mail.IDSource
+	trapHits []trapHit
+}
+
+// trapHit is one deferred spamtrap delivery: the cross-company side
+// effect (feeding every blocklist provider) is applied at the epoch
+// barrier in company-name order so aggregate listing state is
+// independent of worker count.
+type trapHit struct {
+	to mail.Address
+	ip string
 }
 
 // SplitMTAOut reports whether challenges and user mail use distinct IPs.
@@ -153,8 +182,15 @@ type Network struct {
 	rng       *rand.Rand
 	remotes   map[string]*RemoteServer
 	companies map[string]*Company
-	records   []*ChallengeRecord
-	userMail  map[UserMailOutcome]int64
+	// records are kept per company: appends for one company only ever
+	// come from that company's lane (or the single driver thread), so
+	// each slice has a deterministic order regardless of worker count.
+	records  map[string][]*ChallengeRecord
+	userMail map[UserMailOutcome]int64
+	// resolvable optionally overrides dns.Resolvable on the delivery
+	// path, letting the fleet route the per-attempt domain probe through
+	// its resolver cache.
+	resolvable func(domain string) bool
 }
 
 // New assembles a Network.
@@ -175,8 +211,28 @@ func New(clk *clock.Sim, sched *clock.Scheduler, dns *dnssim.Server, providers [
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		remotes:   make(map[string]*RemoteServer),
 		companies: make(map[string]*Company),
+		records:   make(map[string][]*ChallengeRecord),
 		userMail:  make(map[UserMailOutcome]int64),
 	}
+}
+
+// SetResolvable overrides the domain-resolvability probe used on the
+// challenge delivery path (default: the DNS server's Resolvable). The
+// fleet points it at its dnscache layer.
+func (n *Network) SetResolvable(f func(domain string) bool) {
+	n.mu.Lock()
+	n.resolvable = f
+	n.mu.Unlock()
+}
+
+func (n *Network) domainResolvable(domain string) bool {
+	n.mu.Lock()
+	f := n.resolvable
+	n.mu.Unlock()
+	if f != nil {
+		return f(domain)
+	}
+	return n.dns.Resolvable(domain)
 }
 
 // DNS returns the network's DNS server.
@@ -216,6 +272,52 @@ func (n *Network) AttachCompany(c *Company) {
 	})
 }
 
+// AttachCompanyLane is AttachCompany for epoch-barrier parallel
+// execution: the company's network events (challenge transit, retries,
+// recipient reactions, DSNs) run on its own clock and scheduler, and all
+// persona randomness comes from a private RNG stream seeded with seed —
+// so the company's trajectory is identical regardless of how many other
+// companies run beside it. Spamtrap hits are the one cross-company side
+// effect; they are buffered on the lane and applied by FlushTrapHits at
+// the epoch barrier.
+func (n *Network) AttachCompanyLane(c *Company, clk *clock.Sim, sched *clock.Scheduler, seed int64) {
+	c.lane = &lane{
+		clk:   clk,
+		sched: sched,
+		rng:   rand.New(rand.NewSource(seed)),
+		ids:   mail.NewIDSource("dsn-" + c.Name),
+	}
+	n.AttachCompany(c)
+}
+
+// laneCtx returns the clock and scheduler events for c must run on.
+func (n *Network) laneCtx(c *Company) (*clock.Sim, *clock.Scheduler) {
+	if c.lane != nil {
+		return c.lane.clk, c.lane.sched
+	}
+	return n.clk, n.sched
+}
+
+// FlushTrapHits applies the spamtrap hits buffered by every lane since
+// the last flush, in company-name-sorted order. The fleet calls it at
+// each epoch barrier, after all lanes have reached the barrier and
+// before any lane resumes, so blocklist providers see an update order —
+// and therefore produce listing decisions — independent of worker count.
+func (n *Network) FlushTrapHits() int {
+	flushed := 0
+	for _, c := range n.Companies() {
+		if c.lane == nil {
+			continue
+		}
+		for _, h := range c.lane.trapHits {
+			n.traps.Hit(h.to, h.ip)
+			flushed++
+		}
+		c.lane.trapHits = c.lane.trapHits[:0]
+	}
+	return flushed
+}
+
 // Company returns the attached company by name, or nil.
 func (n *Network) Company(name string) *Company {
 	n.mu.Lock()
@@ -245,29 +347,31 @@ func (n *Network) SubmitChallenge(c *Company, ch core.OutboundChallenge) {
 		Status:    StatusPending,
 	}
 	n.mu.Lock()
-	n.records = append(n.records, rec)
+	n.records[c.Name] = append(n.records[c.Name], rec)
 	n.mu.Unlock()
-	n.sched.After(n.cfg.TransitDelay, func() { n.attemptDelivery(c, rec) })
+	_, sched := n.laneCtx(c)
+	sched.After(n.cfg.TransitDelay, func() { n.attemptDelivery(c, rec) })
 }
 
 // attemptDelivery tries to hand rec to the destination server once.
 func (n *Network) attemptDelivery(c *Company, rec *ChallengeRecord) {
 	rec.Attempts++
 	to := rec.Challenge.To
+	clk, _ := n.laneCtx(c)
 
 	n.mu.Lock()
 	remote := n.remotes[to.Domain]
 	n.mu.Unlock()
 
 	// No server for the domain (or no DNS): hard bounce.
-	if remote == nil || !n.dns.Resolvable(to.Domain) {
+	if remote == nil || !n.domainResolvable(to.Domain) {
 		rec.Status = StatusBouncedNoDomain
 		c.Engine.RecordChallengeBounce(to)
 		n.emitDSN(c, rec, "", "host not found")
 		return
 	}
 
-	if remote.Unreachable || n.clk.Now().Before(remote.DownUntil) {
+	if remote.Unreachable || clk.Now().Before(remote.DownUntil) {
 		n.retryOrExpire(c, rec)
 		return
 	}
@@ -281,12 +385,18 @@ func (n *Network) attemptDelivery(c *Company, rec *ChallengeRecord) {
 	}
 
 	// Spamtraps accept everything (that is how they lure spam) and
-	// report the sending IP to the blocklist providers.
+	// report the sending IP to the blocklist providers. Under lane
+	// execution the provider update is deferred to the epoch barrier so
+	// listing state never depends on lane interleaving.
 	if n.traps != nil && n.traps.IsTrap(to) {
 		rec.Status = StatusDelivered
-		rec.Delivered = n.clk.Now()
+		rec.Delivered = clk.Now()
 		rec.TrapHit = true
-		n.traps.Hit(to, rec.FromIP)
+		if c.lane != nil {
+			c.lane.trapHits = append(c.lane.trapHits, trapHit{to: to, ip: rec.FromIP})
+		} else {
+			n.traps.Hit(to, rec.FromIP)
+		}
 		return
 	}
 
@@ -303,7 +413,7 @@ func (n *Network) attemptDelivery(c *Company, rec *ChallengeRecord) {
 	}
 
 	rec.Status = StatusDelivered
-	rec.Delivered = n.clk.Now()
+	rec.Delivered = clk.Now()
 	rec.Persona = persona
 	n.scheduleRecipientReaction(c, rec, behavior)
 }
@@ -322,17 +432,22 @@ func (n *Network) emitDSN(c *Company, rec *ChallengeRecord, srcIP, reason string
 		// company's own MTA-OUT.
 		srcIP = c.MailIP
 	}
+	clk, sched := n.laneCtx(c)
+	id := mail.NewID("dsn")
+	if c.lane != nil {
+		id = c.lane.ids.Next()
+	}
 	dsn := &mail.Message{
-		ID:           mail.NewID("dsn"),
+		ID:           id,
 		EnvelopeFrom: mail.Null,
 		Rcpt:         rec.Challenge.From,
 		Subject:      "Undelivered Mail Returned to Sender",
 		Body:         "The challenge to <" + rec.Challenge.To.String() + "> failed: " + reason,
 		Size:         1200 + len(reason),
 		ClientIP:     srcIP,
-		Received:     n.clk.Now(),
+		Received:     clk.Now(),
 	}
-	n.sched.After(n.cfg.TransitDelay, func() { c.Engine.Receive(dsn) })
+	sched.After(n.cfg.TransitDelay, func() { c.Engine.Receive(dsn) })
 }
 
 func (n *Network) retryOrExpire(c *Company, rec *ChallengeRecord) {
@@ -342,30 +457,41 @@ func (n *Network) retryOrExpire(c *Company, rec *ChallengeRecord) {
 		n.emitDSN(c, rec, "", "delivery time expired")
 		return
 	}
-	n.sched.After(n.cfg.RetrySchedule[idx], func() { n.attemptDelivery(c, rec) })
+	_, sched := n.laneCtx(c)
+	sched.After(n.cfg.RetrySchedule[idx], func() { n.attemptDelivery(c, rec) })
 }
 
 // scheduleRecipientReaction decides, per the mailbox behavior profile,
 // whether the challenge URL gets visited and solved, and schedules those
 // actions in virtual time.
 func (n *Network) scheduleRecipientReaction(c *Company, rec *ChallengeRecord, b Behavior) {
-	n.mu.Lock()
-	visit := n.rng.Float64() < b.VisitProb
-	solve := visit && n.rng.Float64() < b.SolveProbGivenVisit
+	var visit, solve bool
 	var delay time.Duration
-	if b.Delay != nil {
-		delay = b.Delay(n.rng)
-	}
 	attempts := 1
-	if len(b.AttemptsDist) > 0 {
-		attempts = sampleAttempts(n.rng, b.AttemptsDist)
+	draw := func(rng *rand.Rand) {
+		visit = rng.Float64() < b.VisitProb
+		solve = visit && rng.Float64() < b.SolveProbGivenVisit
+		if b.Delay != nil {
+			delay = b.Delay(rng)
+		}
+		if len(b.AttemptsDist) > 0 {
+			attempts = sampleAttempts(rng, b.AttemptsDist)
+		}
 	}
-	n.mu.Unlock()
+	if c.lane != nil {
+		// Lane RNG: single-threaded within the lane, no lock needed.
+		draw(c.lane.rng)
+	} else {
+		n.mu.Lock()
+		draw(n.rng)
+		n.mu.Unlock()
+	}
 
 	if !visit {
 		return
 	}
-	n.sched.After(delay, func() {
+	clk, sched := n.laneCtx(c)
+	sched.After(delay, func() {
 		svc := c.Engine.Captcha()
 		if _, err := svc.Visit(rec.Challenge.Token); err != nil {
 			return // expired or already resolved via digest
@@ -388,7 +514,7 @@ func (n *Network) scheduleRecipientReaction(c *Company, rec *ChallengeRecord, b 
 			return
 		}
 		rec.Solved = true
-		rec.SolvedAt = n.clk.Now()
+		rec.SolvedAt = clk.Now()
 		rec.CaptchaAttempts = attempts
 	})
 }
@@ -430,12 +556,22 @@ func (n *Network) UserMailStats() map[UserMailOutcome]int64 {
 	return out
 }
 
-// Records returns a snapshot of all challenge records.
+// Records returns a snapshot of all challenge records, grouped by
+// company in name order (submission order within each company).
 func (n *Network) Records() []*ChallengeRecord {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	out := make([]*ChallengeRecord, len(n.records))
-	copy(out, n.records)
+	names := make([]string, 0, len(n.records))
+	total := 0
+	for name, recs := range n.records {
+		names = append(names, name)
+		total += len(recs)
+	}
+	sort.Strings(names)
+	out := make([]*ChallengeRecord, 0, total)
+	for _, name := range names {
+		out = append(out, n.records[name]...)
+	}
 	return out
 }
 
@@ -455,23 +591,25 @@ func (n *Network) DeliveryStats() DeliveryStats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	st := DeliveryStats{ByStatus: make(map[ChallengeStatus]int)}
-	for _, r := range n.records {
-		st.Total++
-		st.ByStatus[r.Status]++
-		if r.TrapHit {
-			st.TrapHits++
-		}
-		if r.Status == StatusDelivered && !r.TrapHit {
-			switch {
-			case r.Solved:
-				st.Solved++
-			case r.Visited:
-				st.VisitedOnly++
-			default:
+	for _, recs := range n.records {
+		for _, r := range recs {
+			st.Total++
+			st.ByStatus[r.Status]++
+			if r.TrapHit {
+				st.TrapHits++
+			}
+			if r.Status == StatusDelivered && !r.TrapHit {
+				switch {
+				case r.Solved:
+					st.Solved++
+				case r.Visited:
+					st.VisitedOnly++
+				default:
+					st.NeverVisited++
+				}
+			} else if r.Status == StatusDelivered && r.TrapHit {
 				st.NeverVisited++
 			}
-		} else if r.Status == StatusDelivered && r.TrapHit {
-			st.NeverVisited++
 		}
 	}
 	return st
@@ -485,9 +623,11 @@ func (n *Network) AttemptsHistogram() map[int]int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	out := make(map[int]int)
-	for _, r := range n.records {
-		if r.Solved && r.CaptchaAttempts > 0 {
-			out[r.CaptchaAttempts]++
+	for _, recs := range n.records {
+		for _, r := range recs {
+			if r.Solved && r.CaptchaAttempts > 0 {
+				out[r.CaptchaAttempts]++
+			}
 		}
 	}
 	return out

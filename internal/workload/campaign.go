@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 
 	"repro/internal/mail"
 )
@@ -168,6 +169,12 @@ type Campaign struct {
 	// company's trap exposure therefore depends on which poisoned lists
 	// happen to include it, not on its size — the §5.1 non-correlation.
 	covers map[string]bool
+	// mu guards the memo maps: under parallel execution several lanes
+	// may first touch the same campaign concurrently. The memoised
+	// values themselves come from RNG streams derived from
+	// (seed, campaign, company), so they are identical no matter which
+	// lane computes them first.
+	mu sync.Mutex
 }
 
 // ActiveOn reports whether the campaign sends on the given day.

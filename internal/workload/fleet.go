@@ -3,12 +3,14 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/digest"
+	"repro/internal/dnscache"
 	"repro/internal/dnssim"
 	"repro/internal/faults"
 	"repro/internal/filters"
@@ -33,6 +35,14 @@ type Config struct {
 	// ScaleVolume multiplies every company's DailyVolume (use <1 for
 	// fast experiment runs; the proportions are volume-invariant).
 	ScaleVolume float64
+	// Workers is the worker-pool size for Run: companies advance in
+	// parallel, joined at hourly epoch barriers. 0 means GOMAXPROCS;
+	// 1 runs the same epoch algorithm serially. Results are identical
+	// for every value — each company owns its clock, scheduler and RNG
+	// streams, and cross-company effects apply only at barriers in
+	// company-name order. A FaultPlan forces 1 (the injector draws from
+	// one shared RNG whose order must stay reproducible).
+	Workers int
 
 	// World population.
 	LegitDomains        int // partner domains hosting real correspondents
@@ -172,6 +182,17 @@ type Fleet struct {
 	Start     time.Time
 	// Injector is the active fault source (nil without Config.FaultPlan).
 	Injector *faults.Set
+	// DNSCache fronts DNS for every engine, filter and the workload
+	// generator (nil under a FaultPlan: injected resolver faults must
+	// reach every consumer un-cached).
+	DNSCache *dnscache.Cache
+	// RBLCache memoizes the filter blocklist's Query answers (nil under
+	// a FaultPlan, for the same reason).
+	RBLCache *dnscache.RBLCache
+
+	lanes   []*companyLane  // company-name-sorted execution lanes
+	resolve dnssim.Resolver // DNSCache when enabled, else DNS
+	outIPs  []string        // cached allOutIPs result
 
 	rng        *rand.Rand
 	profiles   map[string]CompanyProfile
@@ -244,10 +265,48 @@ func NewFleet(cfg Config) *Fleet {
 		}
 	}
 
+	// The resolver-cache path: every engine, probe filter, SPF checker
+	// and the workload generator resolve through one TTL cache with
+	// negative caching and single-flight collapse. Under a fault plan the
+	// caches stay off — an injected fault must reach every consumer, and
+	// the injector's per-decision RNG draws must keep their exact order.
+	f.resolve = f.DNS
+	if f.Injector == nil {
+		f.DNSCache = dnscache.New(f.DNS, dnscache.Options{Clock: f.Clk, Gen: f.DNS.Gen})
+		f.resolve = f.DNSCache
+		f.RBLCache = dnscache.NewRBL(f.filterProvider(), f.Clk, 0)
+		f.Net.SetResolvable(f.DNSCache.Resolvable)
+	}
+
 	f.buildWorld()
 	f.buildCampaigns()
 	f.buildCompanies()
 	return f
+}
+
+// Salts for deriveSeed: each (seed, salt, ...) tuple yields an
+// independent deterministic RNG stream.
+const (
+	saltLaneRNG int64 = iota + 1
+	saltNetLane
+	saltCampaignCovers
+	saltCampaignTargets
+)
+
+// deriveSeed hashes a base seed and salts into the seed of an
+// independent RNG stream (splitmix64 finalizer). Lanes, the per-company
+// network personas, and campaign memos each draw from streams derived
+// from (seed, company) so their randomness is identical regardless of
+// worker count or lane interleaving.
+func deriveSeed(base int64, salts ...int64) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15
+	for _, s := range salts {
+		z += uint64(s) + 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+	}
+	return int64(z &^ (1 << 63))
 }
 
 // filterProvider returns the blocklist the engines' RBL filter consults
@@ -399,7 +458,7 @@ func (f *Fleet) buildCampaigns() {
 		for s := 0; s < nSenders; s++ {
 			local := fmt.Sprintf("dept-x.%c", 'p'+s)
 			b := simnet.DefaultBehavior(simnet.PersonaNewsletter)
-			b.VisitProb = minF(1, diligence+0.05)
+			b.VisitProb = min(1, diligence+0.05)
 			b.SolveProbGivenVisit = diligence / b.VisitProb
 			rs.AddMailboxBehavior(local, simnet.PersonaNewsletter, b)
 			c.Senders = append(c.Senders, mail.Address{Local: local, Domain: domain})
@@ -467,20 +526,20 @@ func (f *Fleet) drawSpoof(trapShare float64) mail.Address {
 
 // campaignTargets returns (memoised) the subset of a company's users a
 // campaign mails: spammers recycle harvested lists, so the same users
-// get hit repeatedly.
-func (f *Fleet) campaignTargets(c *Campaign, company string) []mail.Address {
+// get hit repeatedly. The selection comes from a stream derived from
+// (seed, campaign, company) so it is the same no matter which lane — or
+// how many lanes — first ask for it.
+func (f *Fleet) campaignTargets(c *Campaign, ln *companyLane) []mail.Address {
+	company := ln.comp.Name
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if ts, ok := c.targets[company]; ok {
 		return ts
 	}
 	users := f.users[company]
-	n := len(users) * 2 / 5
-	if n < 5 {
-		n = 5
-	}
-	if n > len(users) {
-		n = len(users)
-	}
-	perm := f.rng.Perm(len(users))
+	n := min(max(len(users)*2/5, 5), len(users))
+	rng := rand.New(rand.NewSource(deriveSeed(f.Cfg.Seed, saltCampaignTargets, int64(c.ID), int64(ln.idx))))
+	perm := rng.Perm(len(users))
 	ts := make([]mail.Address, n)
 	for i := 0; i < n; i++ {
 		ts[i] = users[perm[i]]
@@ -489,11 +548,25 @@ func (f *Fleet) campaignTargets(c *Campaign, company string) []mail.Address {
 	return ts
 }
 
-func minF(a, b float64) float64 {
-	if a < b {
-		return a
-	}
-	return b
+// companyLane is the per-company execution context: its own virtual
+// clock, scheduler, RNG stream, message-ID source and sink buffers. A
+// lane is advanced by exactly one worker per epoch, so everything here
+// is single-threaded; cross-lane state (truth, classCounts, grayLog,
+// digests) stays behind f.mu.
+type companyLane struct {
+	idx     int // profile index: the stable salt for derived RNG streams
+	comp    *simnet.Company
+	profile CompanyProfile
+	clk     *clock.Sim
+	sched   *clock.Scheduler
+	rng     *rand.Rand
+	ids     *mail.IDSource
+
+	// Sink buffers: maillog/trace events are buffered per lane and
+	// flushed at the epoch barrier in lane (company-name) order, so the
+	// streams the measurement pipeline sees are worker-count-invariant.
+	logBuf   []maillog.Event
+	traceBuf []trace.Record
 }
 
 func (f *Fleet) buildCompanies() {
@@ -504,6 +577,19 @@ func (f *Fleet) buildCompanies() {
 		if p.SplitMTAOut {
 			mailIP = fmt.Sprintf("198.51.100.%d", 2+i*2)
 		}
+
+		// The lane: every time-dependent component below (breakers,
+		// whitelist TTLs, greylist windows, reputation decay, the engine
+		// itself) runs on the lane clock, which only this company's
+		// worker advances. The shared f.Clk moves at epoch barriers.
+		ln := &companyLane{
+			idx:     i,
+			profile: p,
+			clk:     clock.NewSim(FleetStart),
+			rng:     rand.New(rand.NewSource(deriveSeed(f.Cfg.Seed, saltLaneRNG, int64(i)))),
+			ids:     mail.NewIDSource(p.Name),
+		}
+		ln.sched = clock.NewScheduler(ln.clk)
 
 		av := filters.NewAntivirus()
 		if f.Injector != nil {
@@ -517,17 +603,21 @@ func (f *Fleet) buildCompanies() {
 		seed := f.Cfg.Seed + int64(i)*7919
 		harden := func(pr filters.Prober, mode filters.DegradeMode, n int64) filters.Filter {
 			return filters.Harden(pr, mode, filters.HardenOpts{
-				Breaker: resilience.NewBreaker(p.Name+"/"+pr.Name(), resilience.DefaultBreakerConfig(), f.Clk),
+				Breaker: resilience.NewBreaker(p.Name+"/"+pr.Name(), resilience.DefaultBreakerConfig(), ln.clk),
 				Seed:    seed + n,
 			})
 		}
+		var rblBackend filters.RBLBackend = f.filterProvider()
+		if f.RBLCache != nil {
+			rblBackend = f.RBLCache
+		}
 		chainFilters := []filters.Filter{
 			harden(av, filters.FailClosed, 1),
-			harden(filters.NewReverseDNS(f.DNS), filters.FailOpen, 2),
-			harden(filters.NewRBL(f.filterProvider()), filters.FailOpen, 3),
+			harden(filters.NewReverseDNS(f.resolve), filters.FailOpen, 2),
+			harden(filters.NewRBL(rblBackend), filters.FailOpen, 3),
 		}
 		if f.Cfg.UseSPFFilter {
-			chainFilters = append(chainFilters, harden(filters.NewSPF(spf.New(f.DNS)), filters.FailOpen, 4))
+			chainFilters = append(chainFilters, harden(filters.NewSPF(spf.New(f.resolve)), filters.FailOpen, 4))
 		}
 		var rep *reputation.Store
 		if f.Cfg.UseReputation {
@@ -535,7 +625,7 @@ func (f *Fleet) buildCompanies() {
 			if f.Injector != nil {
 				repCfg.Injector = f.Injector
 			}
-			rep = reputation.NewStore(repCfg, f.Clk)
+			rep = reputation.NewStore(repCfg, ln.clk)
 			f.reputation[p.Name] = rep
 			// The reputation check heads the chain so suspect senders are
 			// dropped before any probe filter spends a lookup on them.
@@ -544,7 +634,7 @@ func (f *Fleet) buildCompanies() {
 			}, chainFilters...)
 		}
 		chain := filters.NewChain(chainFilters...)
-		wl := whitelist.NewStore(f.Clk)
+		wl := whitelist.NewStore(ln.clk)
 		relayDomains := []string(nil)
 		if p.OpenRelay {
 			relayDomains = []string{"relay-" + p.Domain}
@@ -560,15 +650,19 @@ func (f *Fleet) buildCompanies() {
 			ChallengeSize:        1800,
 			Seed:                 f.Cfg.Seed + int64(i)*7919,
 			MaxChallengesPerHour: f.Cfg.ChallengeCapPerHour,
-		}, f.Clk, f.DNS, chain, wl, nil)
+		}, ln.clk, f.resolve, chain, wl, nil)
 		if rep != nil {
 			eng.SetReputation(rep)
 		}
 		if f.Cfg.LogSink != nil {
-			eng.SetEventSink(f.Cfg.LogSink)
+			// Buffer events on the lane; the barrier flushes them to the
+			// user's sink in canonical order (see Fleet.flushSinks).
+			eng.SetEventSink(func(ev maillog.Event) {
+				ln.logBuf = append(ln.logBuf, ev)
+			})
 		}
 		if f.Cfg.UseGreylisting {
-			f.greylists[p.Name] = greylist.New(greylist.DefaultConfig(), f.Clk)
+			f.greylists[p.Name] = greylist.New(greylist.DefaultConfig(), ln.clk)
 		}
 		f.DNS.RegisterMailDomain(p.Domain, challengeIP)
 
@@ -615,9 +709,25 @@ func (f *Fleet) buildCompanies() {
 			ChallengeIP: challengeIP,
 			MailIP:      mailIP,
 		}
-		f.Net.AttachCompany(comp)
+		ln.comp = comp
+		f.Net.AttachCompanyLane(comp, ln.clk, ln.sched,
+			deriveSeed(f.Cfg.Seed, saltNetLane, int64(i)))
 		f.Companies = append(f.Companies, comp)
+		f.lanes = append(f.lanes, ln)
 	}
+
+	// Canonical lane order: company name. Barrier-side iteration (sink
+	// flushing) follows this order so outputs are worker-count-invariant
+	// whatever order the profiles came in.
+	sort.Slice(f.lanes, func(i, j int) bool {
+		return f.lanes[i].comp.Name < f.lanes[j].comp.Name
+	})
+
+	// The outbound-IP set the §5.1 checker polls: companies are fixed
+	// after build, so compute it once here instead of every simulated
+	// day (invalidate by clearing f.outIPs if companies ever change).
+	f.outIPs = nil
+	f.outIPs = f.allOutIPs()
 }
 
 // Day returns the current simulation day index (0-based).

@@ -4,7 +4,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -21,10 +24,32 @@ import (
 // virtual time, and performing the daily chores (digest generation and
 // weeding, outbound user mail, quarantine expiry) plus the 4-hourly
 // §5.1 blacklist poll.
+//
+// Companies execute on independent lanes advanced in lockstep epochs of
+// one virtual hour by a pool of Config.Workers goroutines. Every lane
+// owns its clock, scheduler and RNG streams, and all cross-company side
+// effects (spamtrap hits feeding the blocklists, checker polls) apply at
+// the epoch barrier in company-name order — so the results are
+// bit-for-bit identical for any worker count.
 func (f *Fleet) Run(days int) {
 	for d := 0; d < days; d++ {
 		f.runOneDay()
 	}
+}
+
+// workers resolves the effective worker-pool size.
+func (f *Fleet) workers() int {
+	w := f.Cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	// A fault plan shares one seeded injector RNG across every consumer;
+	// parallel lanes would make its draw order depend on goroutine
+	// scheduling, so chaos runs stay serial to remain reproducible.
+	if f.Injector != nil {
+		w = 1
+	}
+	return max(1, min(w, len(f.lanes)))
 }
 
 // runOneDay generates and processes one simulated day.
@@ -34,11 +59,11 @@ func (f *Fleet) runOneDay() {
 	f.mu.Unlock()
 	dayStart := f.Start.Add(time.Duration(dayIdx) * day)
 
-	// Hourly traffic batches for every company.
-	for _, comp := range f.Companies {
-		comp := comp
-		p := f.profiles[comp.Name]
-		volume := int(float64(p.DailyVolume) * f.Cfg.ScaleVolume)
+	// Schedule each company's hourly traffic batches and end-of-day
+	// chores on its own lane.
+	for _, ln := range f.lanes {
+		ln := ln
+		volume := int(float64(ln.profile.DailyVolume) * f.Cfg.ScaleVolume)
 		for h := 0; h < 24; h++ {
 			n := volume / 24
 			if h < volume%24 {
@@ -48,33 +73,96 @@ func (f *Fleet) runOneDay() {
 				continue
 			}
 			count := n
-			f.Sched.At(dayStart.Add(time.Duration(h)*time.Hour), func() {
+			ln.sched.At(dayStart.Add(time.Duration(h)*time.Hour), func() {
 				for i := 0; i < count; i++ {
-					f.injectOne(comp)
+					f.injectOne(ln)
 				}
 			})
 		}
+		ln.sched.At(dayStart.Add(23*time.Hour+50*time.Minute), func() {
+			f.dailyChores(ln, dayIdx)
+		})
 	}
 
-	// The §5.1 blacklist checker polls every CheckerPeriod.
-	ips := f.allOutIPs()
-	for t := f.Cfg.CheckerPeriod; t <= day; t += f.Cfg.CheckerPeriod {
-		f.Sched.At(dayStart.Add(t), func() { f.Checker.Poll(ips) })
+	workers := f.workers()
+	for h := 1; h <= 24; h++ {
+		f.runEpoch(workers, dayStart.Add(time.Duration(h)*time.Hour))
 	}
 
-	// End-of-day chores.
-	f.Sched.At(dayStart.Add(23*time.Hour+50*time.Minute), func() {
-		f.dailyChores(dayIdx)
-	})
-
-	f.Sched.RunUntil(dayStart.Add(day))
 	f.mu.Lock()
 	f.day++
 	f.mu.Unlock()
 }
 
+// runEpoch advances every lane to epochEnd — in parallel when workers
+// allows — then applies the barrier work in canonical order. During the
+// epoch the shared clock stays frozen at the previous barrier, so every
+// lane reads identical shared state (blocklist listings, cache expiry,
+// injector windows) regardless of execution order.
+func (f *Fleet) runEpoch(workers int, epochEnd time.Time) {
+	if workers <= 1 {
+		for _, ln := range f.lanes {
+			ln.sched.RunUntil(epochEnd)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(f.lanes) {
+						return
+					}
+					f.lanes[i].sched.RunUntil(epochEnd)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Barrier: all lanes have reached epochEnd and parked. Bring the
+	// shared clock up, drain any stragglers on the global scheduler,
+	// then apply cross-company effects in company-name order.
+	f.Clk.AdvanceTo(epochEnd)
+	f.Sched.RunUntil(epochEnd)
+	f.Net.FlushTrapHits()
+	if f.Cfg.CheckerPeriod > 0 {
+		if since := epochEnd.Sub(f.Start); since%f.Cfg.CheckerPeriod == 0 {
+			f.Checker.Poll(f.allOutIPs())
+		}
+	}
+	f.flushSinks()
+}
+
+// flushSinks drains every lane's buffered maillog/trace events to the
+// configured sinks, in canonical lane order.
+func (f *Fleet) flushSinks() {
+	for _, ln := range f.lanes {
+		if f.Cfg.LogSink != nil {
+			for _, ev := range ln.logBuf {
+				f.Cfg.LogSink(ev)
+			}
+		}
+		ln.logBuf = ln.logBuf[:0]
+		if f.Cfg.TraceSink != nil {
+			for _, r := range ln.traceBuf {
+				f.Cfg.TraceSink(r)
+			}
+		}
+		ln.traceBuf = ln.traceBuf[:0]
+	}
+}
+
 // allOutIPs lists every company's outbound IPs (challenge + user mail).
+// The set is fixed after buildCompanies, which caches it in f.outIPs;
+// anything that adds or removes a company must clear that field.
 func (f *Fleet) allOutIPs() []string {
+	if f.outIPs != nil {
+		return f.outIPs
+	}
 	var ips []string
 	seen := make(map[string]bool)
 	for _, c := range f.Companies {
@@ -85,8 +173,24 @@ func (f *Fleet) allOutIPs() []string {
 			}
 		}
 	}
+	f.outIPs = ips
 	return ips
 }
+
+// msgPool recycles mail.Message structs on the injection hot path. Only
+// messages nothing retains are returned to it (MTA rejections, abandoned
+// greylist retries — the large majority of generated traffic); accepted
+// messages may live on in an engine's quarantine. Pooled messages are
+// zeroed before reuse, so recycling cannot leak state between messages
+// or perturb simulation outcomes.
+var msgPool = sync.Pool{New: func() any { return new(mail.Message) }}
+
+func getMsg() *mail.Message  { return msgPool.Get().(*mail.Message) }
+func putMsg(m *mail.Message) { *m = mail.Message{}; msgPool.Put(m) }
+
+// bodyFiller backs generated message bodies: slicing a shared string
+// costs nothing per message, where strings.Repeat used to allocate.
+var bodyFiller = strings.Repeat("x", 256)
 
 // drawClass samples a traffic class from the company's mix.
 func drawClass(rng *rand.Rand, m Mix) Class {
@@ -115,16 +219,18 @@ func drawClass(rng *rand.Rand, m Mix) Class {
 }
 
 // injectOne generates and delivers one message to a company's MTA-IN.
-func (f *Fleet) injectOne(comp *simnet.Company) {
+// It runs on the lane's goroutine: all randomness comes from the lane
+// RNG, and shared-map writes go through f.mu.
+func (f *Fleet) injectOne(ln *companyLane) {
+	comp, p := ln.comp, ln.profile
+	class := drawClass(ln.rng, p.Mix)
+	msg := f.buildMessage(ln, p, class)
 	f.mu.Lock()
-	p := f.profiles[comp.Name]
-	class := drawClass(f.rng, p.Mix)
 	f.classCounts[class]++
-	msg := f.buildMessage(comp, p, class)
 	f.mu.Unlock()
 
 	if f.Cfg.TraceSink != nil {
-		f.Cfg.TraceSink(trace.FromMessage(comp.Name, msg, class.String()))
+		ln.traceBuf = append(ln.traceBuf, trace.FromMessage(comp.Name, msg, class.String()))
 	}
 
 	// Greylisting (when enabled) gates messages that would otherwise be
@@ -132,36 +238,37 @@ func (f *Fleet) injectOne(comp *simnet.Company) {
 	// mostly do not. Rejections for unknown users etc. stay permanent.
 	if gl := f.greylists[comp.Name]; gl != nil && comp.Engine.CheckMTAIn(msg) == core.Accepted {
 		if gl.Check(msg.ClientIP, msg.EnvelopeFrom, msg.Rcpt) == greylist.TempReject {
-			f.mu.Lock()
-			cls := f.truth[msg.ID]
-			retries := cls == ClassWhite || cls == ClassLegitNew || cls == ClassNewsletter ||
-				f.rng.Float64() < f.Cfg.SpamRetryProb
-			// White messages don't carry truth entries; infer from the
-			// whitelist instead.
+			retries := class == ClassWhite || class == ClassLegitNew || class == ClassNewsletter ||
+				ln.rng.Float64() < f.Cfg.SpamRetryProb
 			if !retries {
 				retries = comp.Engine.Whitelists().IsWhite(msg.Rcpt, msg.EnvelopeFrom)
 			}
-			delay := 16*time.Minute + time.Duration(f.rng.Int63n(int64(30*time.Minute)))
-			f.mu.Unlock()
-			if retries {
-				f.Sched.After(delay, func() {
-					msg.Received = f.Clk.Now()
-					if gl.Check(msg.ClientIP, msg.EnvelopeFrom, msg.Rcpt) == greylist.Accept {
-						f.deliverToEngine(comp, msg)
-					}
-				})
+			delay := 16*time.Minute + time.Duration(ln.rng.Int63n(int64(30*time.Minute)))
+			if !retries {
+				putMsg(msg) // dropped by the greylist, never retried
+				return
 			}
+			ln.sched.After(delay, func() {
+				msg.Received = ln.clk.Now()
+				if gl.Check(msg.ClientIP, msg.EnvelopeFrom, msg.Rcpt) == greylist.Accept {
+					f.deliverToEngine(ln, msg)
+				} else {
+					putMsg(msg)
+				}
+			})
 			return
 		}
 	}
-	f.deliverToEngine(comp, msg)
+	f.deliverToEngine(ln, msg)
 }
 
 // deliverToEngine hands an (un-greylisted or retried) message to the
 // engine and captures gray-spool context.
-func (f *Fleet) deliverToEngine(comp *simnet.Company, msg *mail.Message) {
-	verdict := comp.Engine.Receive(msg)
+func (f *Fleet) deliverToEngine(ln *companyLane, msg *mail.Message) {
+	verdict := ln.comp.Engine.Receive(msg)
 	if verdict != 0 { // core.Accepted == 0
+		// MTA rejections retain nothing: recycle the message.
+		putMsg(msg)
 		return
 	}
 	// Capture gray-spool context for the offline SPF what-if (E14).
@@ -178,26 +285,30 @@ func (f *Fleet) deliverToEngine(comp *simnet.Company, msg *mail.Message) {
 	f.mu.Unlock()
 }
 
-// buildMessage constructs the mail.Message for a class. Caller holds f.mu.
-func (f *Fleet) buildMessage(comp *simnet.Company, p CompanyProfile, class Class) *mail.Message {
-	now := f.Clk.Now()
-	m := &mail.Message{
-		ID:       mail.NewID(comp.Name),
-		Received: now,
-	}
+// buildMessage constructs the mail.Message for a class, drawing from the
+// lane RNG and minting a lane-scoped ID (globally unique because lane
+// prefixes are company names).
+func (f *Fleet) buildMessage(ln *companyLane, p CompanyProfile, class Class) *mail.Message {
+	comp := ln.comp
+	rng := ln.rng
+	m := getMsg()
+	m.ID = ln.ids.Next()
+	m.Received = ln.clk.Now()
 	// Ground truth is only consulted for messages that can reach the
 	// gray spool (digest weeding, spurious-delivery scoring); skipping
 	// the rest keeps long runs lean.
 	switch class {
 	case ClassLegitNew, ClassNewsletter, ClassSpam, ClassNullSender, ClassRelayAttempt:
+		f.mu.Lock()
 		f.truth[m.ID] = class
+		f.mu.Unlock()
 	}
 
 	users := f.users[comp.Name]
-	randUser := func() mail.Address { return users[f.rng.Intn(len(users))] }
-	randBot := func() botIP { return f.botnet[f.rng.Intn(len(f.botnet))] }
+	randUser := func() mail.Address { return users[rng.Intn(len(users))] }
+	randBot := func() botIP { return f.botnet[rng.Intn(len(f.botnet))] }
 	legitIPFor := func(domain string) string {
-		if ips, err := f.DNS.LookupA("mail." + domain); err == nil && len(ips) > 0 {
+		if ips, err := f.resolve.LookupA("mail." + domain); err == nil && len(ips) > 0 {
 			return ips[0]
 		}
 		return "192.0.2.250"
@@ -205,33 +316,33 @@ func (f *Fleet) buildMessage(comp *simnet.Company, p CompanyProfile, class Class
 
 	switch class {
 	case ClassMalformed:
-		m.EnvelopeFrom = f.innocents[f.rng.Intn(len(f.innocents))]
+		m.EnvelopeFrom = f.innocents[rng.Intn(len(f.innocents))]
 		m.Rcpt = mail.Address{} // unparsable recipient
 		m.Subject = "malformed addressing"
-		m.Size = 900 + f.rng.Intn(2000)
+		m.Size = 900 + rng.Intn(2000)
 		m.ClientIP = randBot().ip
 
 	case ClassUnresolvable:
-		dom := f.unresolvable[f.rng.Intn(len(f.unresolvable))]
-		m.EnvelopeFrom = mail.Address{Local: fmt.Sprintf("x%d", f.rng.Intn(10000)), Domain: dom}
+		dom := f.unresolvable[rng.Intn(len(f.unresolvable))]
+		m.EnvelopeFrom = mail.Address{Local: fmt.Sprintf("x%d", rng.Intn(10000)), Domain: dom}
 		m.Rcpt = randUser()
-		m.Subject = makeSubject(f.rng, "")
-		m.Size = 1500 + f.rng.Intn(4000)
+		m.Subject = makeSubject(rng, "")
+		m.Size = 1500 + rng.Intn(4000)
 		m.ClientIP = randBot().ip
 
 	case ClassRelayAttempt:
-		m.EnvelopeFrom = f.innocents[f.rng.Intn(len(f.innocents))]
+		m.EnvelopeFrom = f.innocents[rng.Intn(len(f.innocents))]
 		if p.OpenRelay {
 			// Open relays accept mail for their relayed domains,
 			// addressed to arbitrary mailboxes.
 			m.Rcpt = mail.Address{
-				Local:  fmt.Sprintf("box%d", f.rng.Intn(5000)),
+				Local:  fmt.Sprintf("box%d", rng.Intn(5000)),
 				Domain: "relay-" + p.Domain,
 			}
 		} else {
 			m.Rcpt = mail.Address{Local: "info", Domain: f.foreignDomain}
 		}
-		camp := f.pickSpamCampaign(comp.Name)
+		camp := f.pickSpamCampaign(ln)
 		m.Subject = camp.Subject
 		m.Size = camp.MsgSize
 		m.ClientIP = randBot().ip
@@ -244,12 +355,12 @@ func (f *Fleet) buildMessage(comp *simnet.Company, p CompanyProfile, class Class
 		m.ClientIP = randBot().ip
 
 	case ClassUnknownRecipient:
-		m.EnvelopeFrom = f.innocents[f.rng.Intn(len(f.innocents))]
+		m.EnvelopeFrom = f.innocents[rng.Intn(len(f.innocents))]
 		m.Rcpt = mail.Address{
-			Local:  fmt.Sprintf("harvest%d", f.rng.Intn(1000000)),
+			Local:  fmt.Sprintf("harvest%d", rng.Intn(1000000)),
 			Domain: p.Domain,
 		}
-		camp := f.pickSpamCampaign(comp.Name)
+		camp := f.pickSpamCampaign(ln)
 		m.Subject = camp.Subject
 		m.Size = camp.MsgSize
 		m.ClientIP = randBot().ip
@@ -259,12 +370,12 @@ func (f *Fleet) buildMessage(comp *simnet.Company, p CompanyProfile, class Class
 		m.Rcpt = u
 		seeds := f.seededWL[u.Key()]
 		if len(seeds) == 0 {
-			m.EnvelopeFrom = f.legitPool[f.rng.Intn(len(f.legitPool))]
+			m.EnvelopeFrom = f.legitPool[rng.Intn(len(f.legitPool))]
 		} else {
-			m.EnvelopeFrom = seeds[f.rng.Intn(len(seeds))]
+			m.EnvelopeFrom = seeds[rng.Intn(len(seeds))]
 		}
-		m.Subject = makeSubject(f.rng, "re")
-		m.Size = 4000 + f.rng.Intn(45000)
+		m.Subject = makeSubject(rng, "re")
+		m.Size = 4000 + rng.Intn(45000)
 		m.ClientIP = legitIPFor(m.EnvelopeFrom.Domain)
 
 	case ClassBlack:
@@ -272,25 +383,25 @@ func (f *Fleet) buildMessage(comp *simnet.Company, p CompanyProfile, class Class
 		m.Rcpt = u
 		bl := f.seededBL[u.Key()]
 		if len(bl) == 0 {
-			m.EnvelopeFrom = f.innocents[f.rng.Intn(len(f.innocents))]
+			m.EnvelopeFrom = f.innocents[rng.Intn(len(f.innocents))]
 		} else {
-			m.EnvelopeFrom = bl[f.rng.Intn(len(bl))]
+			m.EnvelopeFrom = bl[rng.Intn(len(bl))]
 		}
-		m.Subject = makeSubject(f.rng, "")
-		m.Size = 1500 + f.rng.Intn(4000)
+		m.Subject = makeSubject(rng, "")
+		m.Size = 1500 + rng.Intn(4000)
 		m.ClientIP = legitIPFor(m.EnvelopeFrom.Domain)
 
 	case ClassLegitNew:
 		m.Rcpt = randUser()
-		m.EnvelopeFrom = f.legitPool[f.rng.Intn(len(f.legitPool))]
-		m.Subject = makeSubject(f.rng, "hello")
-		m.Size = 4000 + f.rng.Intn(30000)
+		m.EnvelopeFrom = f.legitPool[rng.Intn(len(f.legitPool))]
+		m.Subject = makeSubject(rng, "hello")
+		m.Size = 4000 + rng.Intn(30000)
 		m.ClientIP = legitIPFor(m.EnvelopeFrom.Domain)
 
 	case ClassNewsletter:
-		camp := f.newsCamps[f.rng.Intn(len(f.newsCamps))]
+		camp := f.newsCamps[rng.Intn(len(f.newsCamps))]
 		m.Rcpt = randUser()
-		m.EnvelopeFrom = camp.Senders[f.rng.Intn(len(camp.Senders))]
+		m.EnvelopeFrom = camp.Senders[rng.Intn(len(camp.Senders))]
 		m.Subject = camp.Subject
 		m.Size = camp.MsgSize
 		m.ClientIP = legitIPFor(m.EnvelopeFrom.Domain)
@@ -303,41 +414,36 @@ func (f *Fleet) buildMessage(comp *simnet.Company, p CompanyProfile, class Class
 		m.ClientIP = legitIPFor(f.legitPool[0].Domain)
 
 	default: // ClassSpam
-		camp := f.pickSpamCampaign(comp.Name)
-		targets := f.campaignTargets(camp, comp.Name)
-		m.Rcpt = targets[f.rng.Intn(len(targets))]
-		m.EnvelopeFrom = camp.SpoofPool[f.rng.Intn(len(camp.SpoofPool))]
+		camp := f.pickSpamCampaign(ln)
+		targets := f.campaignTargets(camp, ln)
+		m.Rcpt = targets[rng.Intn(len(targets))]
+		m.EnvelopeFrom = camp.SpoofPool[rng.Intn(len(camp.SpoofPool))]
 		m.Subject = camp.Subject
 		m.Size = camp.MsgSize
 		bot := randBot()
 		m.ClientIP = bot.ip
-		if f.rng.Float64() < camp.VirusProb {
+		if rng.Float64() < camp.VirusProb {
 			m.Body = "please see the attached file " + filters.EICAR
 		}
 	}
 	m.HeaderFrom = m.EnvelopeFrom
 	if m.Body == "" {
-		m.Body = strings.Repeat("x", minInt(m.Size, 256))
+		m.Body = bodyFiller[:min(m.Size, len(bodyFiller))]
 	}
 	return m
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // pickSpamCampaign selects an active campaign covering the company, by
 // weight; it degrades to any covering campaign, then to any campaign
 // (spam never stops entirely).
-func (f *Fleet) pickSpamCampaign(company string) *Campaign {
+func (f *Fleet) pickSpamCampaign(ln *companyLane) *Campaign {
+	// f.day is written only between days, while every lane is parked at
+	// the final barrier, so the unlocked read is safe.
 	dayIdx := f.day
 	var active, covering []*Campaign
 	var total float64
 	for _, c := range f.spamCamps {
-		if !f.campaignCovers(c, company) {
+		if !f.campaignCovers(c, ln) {
 			continue
 		}
 		covering = append(covering, c)
@@ -348,11 +454,11 @@ func (f *Fleet) pickSpamCampaign(company string) *Campaign {
 	}
 	if len(active) == 0 {
 		if len(covering) > 0 {
-			return covering[f.rng.Intn(len(covering))]
+			return covering[ln.rng.Intn(len(covering))]
 		}
-		return f.spamCamps[f.rng.Intn(len(f.spamCamps))]
+		return f.spamCamps[ln.rng.Intn(len(f.spamCamps))]
 	}
-	u := f.rng.Float64() * total
+	u := ln.rng.Float64() * total
 	for _, c := range active {
 		if u < c.Weight {
 			return c
@@ -363,79 +469,78 @@ func (f *Fleet) pickSpamCampaign(company string) *Campaign {
 }
 
 // campaignCovers memoises whether a campaign's harvested list includes
-// the company (probability 0.4 per pair).
-func (f *Fleet) campaignCovers(c *Campaign, company string) bool {
+// the company (probability 0.3 per pair). The draw comes from a stream
+// derived from (seed, campaign, company) so coverage is identical
+// whichever lane computes it first.
+func (f *Fleet) campaignCovers(c *Campaign, ln *companyLane) bool {
+	company := ln.comp.Name
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if v, ok := c.covers[company]; ok {
 		return v
 	}
-	v := f.rng.Float64() < 0.3
+	rng := rand.New(rand.NewSource(deriveSeed(f.Cfg.Seed, saltCampaignCovers, int64(c.ID), int64(ln.idx))))
+	v := rng.Float64() < 0.3
 	c.covers[company] = v
 	return v
 }
 
 // dailyChores records digests, simulates digest weeding and outbound
-// user mail, and expires old quarantine entries.
-func (f *Fleet) dailyChores(dayIdx int) {
+// user mail, and expires old quarantine entries — for one lane's
+// company, on that lane's goroutine.
+func (f *Fleet) dailyChores(ln *companyLane, dayIdx int) {
 	today := f.Start.Add(time.Duration(dayIdx) * day)
-	for _, comp := range f.Companies {
-		p := f.profiles[comp.Name]
-		eng := comp.Engine
-		for _, u := range f.users[comp.Name] {
-			pending := eng.PendingForUser(u)
-			f.Digests.Record(u, today, pending)
+	comp, p := ln.comp, ln.profile
+	eng := comp.Engine
+	for _, u := range f.users[comp.Name] {
+		pending := eng.PendingForUser(u)
+		f.Digests.Record(u, today, pending)
 
-			f.mu.Lock()
-			diligent := f.rng.Float64() < p.DigestDiligence
-			f.mu.Unlock()
-			if diligent && len(pending) > 0 {
-				f.weedDigest(comp, u, pending)
-			}
-
-			// Outbound mail: implicit whitelisting plus the §5.1
-			// user-mail exposure channel. Rates are per-user skewed.
-			f.mu.Lock()
-			nOut := poisson(f.rng, p.OutboundPerUserDay*f.activity[u.Key()])
-			f.mu.Unlock()
-			for i := 0; i < nOut; i++ {
-				f.sendOutbound(comp, u)
-			}
+		diligent := ln.rng.Float64() < p.DigestDiligence
+		if diligent && len(pending) > 0 {
+			f.weedDigest(ln, u, pending)
 		}
-		eng.ExpireQuarantine()
+
+		// Outbound mail: implicit whitelisting plus the §5.1
+		// user-mail exposure channel. Rates are per-user skewed.
+		nOut := poisson(ln.rng, p.OutboundPerUserDay*f.activity[u.Key()])
+		for i := 0; i < nOut; i++ {
+			f.sendOutbound(ln, u)
+		}
 	}
+	eng.ExpireQuarantine()
 }
 
 // weedDigest simulates the user working through their digest: authorize
 // wanted mail, delete junk, leave the rest.
-func (f *Fleet) weedDigest(comp *simnet.Company, u mail.Address, pending []digest.Item) {
+func (f *Fleet) weedDigest(ln *companyLane, u mail.Address, pending []digest.Item) {
 	for _, item := range pending {
 		f.mu.Lock()
 		class := f.truth[item.MsgID]
-		authorize := class.Wanted() && f.rng.Float64() < f.Cfg.DigestAuthorizeProb
-		del := !class.Wanted() && f.rng.Float64() < f.Cfg.DigestDeleteProb
 		f.mu.Unlock()
+		authorize := class.Wanted() && ln.rng.Float64() < f.Cfg.DigestAuthorizeProb
+		del := !class.Wanted() && ln.rng.Float64() < f.Cfg.DigestDeleteProb
 		switch {
 		case authorize:
-			_ = comp.Engine.AuthorizeFromDigest(u, item.MsgID)
+			_ = ln.comp.Engine.AuthorizeFromDigest(u, item.MsgID)
 		case del:
-			_ = comp.Engine.DeleteFromDigest(u, item.MsgID)
+			_ = ln.comp.Engine.DeleteFromDigest(u, item.MsgID)
 		}
 	}
 }
 
 // sendOutbound models one outbound user message: 80% to an existing
 // contact, 20% to a brand-new address (which then gets auto-whitelisted).
-func (f *Fleet) sendOutbound(comp *simnet.Company, u mail.Address) {
-	f.mu.Lock()
+func (f *Fleet) sendOutbound(ln *companyLane, u mail.Address) {
 	var to mail.Address
 	seeds := f.seededWL[u.Key()]
-	if len(seeds) > 0 && f.rng.Float64() < 0.8 {
-		to = seeds[f.rng.Intn(len(seeds))]
+	if len(seeds) > 0 && ln.rng.Float64() < 0.8 {
+		to = seeds[ln.rng.Intn(len(seeds))]
 	} else {
-		to = f.legitPool[f.rng.Intn(len(f.legitPool))]
+		to = f.legitPool[ln.rng.Intn(len(f.legitPool))]
 	}
-	f.mu.Unlock()
-	comp.Engine.UserSentMail(u, to)
-	f.Net.SendUserMail(comp, to)
+	ln.comp.Engine.UserSentMail(u, to)
+	f.Net.SendUserMail(ln.comp, to)
 }
 
 // poisson draws from a Poisson distribution via Knuth's method (fine for
@@ -457,3 +562,6 @@ func poisson(rng *rand.Rand, lambda float64) int {
 		}
 	}
 }
+
+// _ = simnet reference kept: Company originates there.
+var _ *simnet.Company
