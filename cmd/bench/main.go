@@ -1,13 +1,19 @@
 // Command bench measures fleet-simulation throughput and records the
-// serial-vs-parallel comparison to BENCH_fleet.json. It runs the same
-// Quick-sized fleet once per worker configuration (the aggregate results
-// are worker-count-invariant, so only wall-clock differs) and reports
-// wall-clock, messages/second, allocations/message and the resolver
-// cache hit rates.
+// worker-count sweep to BENCH_fleet.json. It runs the same Quick-sized
+// fleet once per worker configuration (the aggregate results are
+// worker-count-invariant, so only wall-clock differs) and reports
+// wall-clock, messages/second, allocations/message, mutex-contention
+// time per message and the resolver cache hit rates.
 //
 // Usage:
 //
-//	go run ./cmd/bench [-seed 42] [-days 7] [-workers N] [-out BENCH_fleet.json]
+//	go run ./cmd/bench [-seed 42] [-days 7] [-workers N] [-sweep 1,2,4,8]
+//	    [-out BENCH_fleet.json] [-check BENCH_fleet.json]
+//	    [-cpuprofile f] [-memprofile f] [-mutexprofile f] [-blockprofile f]
+//
+// The -check flag compares the fresh allocations/message figure against
+// a committed baseline report and exits non-zero on a >10% regression —
+// the CI smoke gate against allocation creep on the hot path.
 package main
 
 import (
@@ -16,6 +22,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/metrics"
+	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
@@ -32,21 +42,39 @@ type result struct {
 	WallClockSec float64 `json:"wall_clock_sec"`
 	MsgsPerSec   float64 `json:"msgs_per_sec"`
 	AllocsPerMsg float64 `json:"allocs_per_msg"`
-	DNSCacheRate float64 `json:"dns_cache_hit_rate"`
-	DNSLookups   int64   `json:"dns_cache_lookups"`
-	RBLCacheRate float64 `json:"rbl_cache_hit_rate"`
-	RBLLookups   int64   `json:"rbl_cache_lookups"`
+	// MutexWaitNsPerMsg is the per-message share of cumulative time
+	// goroutines spent blocked on mutexes during the run, from the
+	// /sync/mutex/wait/total:seconds runtime metric — the direct measure
+	// of how contention-free the hot path is.
+	MutexWaitNsPerMsg float64 `json:"mutex_wait_ns_per_msg"`
+	DNSCacheRate      float64 `json:"dns_cache_hit_rate"`
+	DNSLookups        int64   `json:"dns_cache_lookups"`
+	RBLCacheRate      float64 `json:"rbl_cache_hit_rate"`
+	RBLLookups        int64   `json:"rbl_cache_lookups"`
 }
 
 // report is the BENCH_fleet.json document.
 type report struct {
-	Generated  string   `json:"generated"`
-	GoVersion  string   `json:"go_version"`
+	Generated string `json:"generated"`
+	GoVersion string `json:"go_version"`
+	// GOMAXPROCS is the effective value the sweep ran under (bench
+	// raises it to at least 4 so multi-worker runs can schedule).
 	GOMAXPROCS int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
 	Seed       int64    `json:"seed"`
 	Runs       []result `json:"runs"`
-	// Speedup is parallel msgs/sec over the workers=1 baseline.
+	// Speedup is best-workers msgs/sec over the workers=1 baseline.
 	Speedup float64 `json:"speedup"`
+}
+
+// mutexWaitSeconds reads the cumulative mutex-wait metric.
+func mutexWaitSeconds() float64 {
+	sample := []metrics.Sample{{Name: "/sync/mutex/wait/total:seconds"}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() == metrics.KindFloat64 {
+		return sample[0].Value.Float64()
+	}
+	return 0
 }
 
 func measure(seed int64, days, companies, workers int, userScale, volumeScale float64) result {
@@ -63,9 +91,11 @@ func measure(seed int64, days, companies, workers int, userScale, volumeScale fl
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
+	waitBefore := mutexWaitSeconds()
 	start := time.Now()
 	f.Run(days)
 	wall := time.Since(start)
+	waitAfter := mutexWaitSeconds()
 	runtime.ReadMemStats(&after)
 
 	var msgs int64
@@ -84,6 +114,7 @@ func measure(seed int64, days, companies, workers int, userScale, volumeScale fl
 	}
 	if msgs > 0 {
 		r.AllocsPerMsg = float64(after.Mallocs-before.Mallocs) / float64(msgs)
+		r.MutexWaitNsPerMsg = (waitAfter - waitBefore) * 1e9 / float64(msgs)
 	}
 	if f.DNSCache != nil {
 		st := f.DNSCache.Stats()
@@ -98,12 +129,70 @@ func measure(seed int64, days, companies, workers int, userScale, volumeScale fl
 	return r
 }
 
+// parseSweep parses "1,2,4,8" into a worker list.
+func parseSweep(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad worker count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty sweep")
+	}
+	return out, nil
+}
+
+// checkRegression compares fresh allocs/msg against a committed baseline
+// report, returning an error when the best (lowest) fresh figure
+// regresses more than 10% over the baseline's best.
+func checkRegression(baselinePath string, runs []result) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse baseline: %w", err)
+	}
+	best := func(rs []result) float64 {
+		b := 0.0
+		for _, r := range rs {
+			if r.AllocsPerMsg > 0 && (b == 0 || r.AllocsPerMsg < b) {
+				b = r.AllocsPerMsg
+			}
+		}
+		return b
+	}
+	baseAllocs, freshAllocs := best(base.Runs), best(runs)
+	if baseAllocs == 0 || freshAllocs == 0 {
+		return fmt.Errorf("missing allocs/msg figures (baseline %.2f, fresh %.2f)", baseAllocs, freshAllocs)
+	}
+	if freshAllocs > baseAllocs*1.10 {
+		return fmt.Errorf("allocs/msg regressed: %.2f fresh vs %.2f baseline (>10%%)", freshAllocs, baseAllocs)
+	}
+	fmt.Fprintf(os.Stderr, "regression check ok: %.2f allocs/msg vs %.2f baseline\n", freshAllocs, baseAllocs)
+	return nil
+}
+
 func main() {
 	seed := flag.Int64("seed", 42, "simulation seed")
 	days := flag.Int("days", 0, "simulated days (0 = Quick preset)")
 	companies := flag.Int("companies", 0, "fleet size (0 = Quick preset)")
-	workers := flag.Int("workers", 0, "parallel worker count (0 = max(4, GOMAXPROCS))")
+	workers := flag.Int("workers", 0, "single parallel worker count (overrides -sweep tail)")
+	sweep := flag.String("sweep", "1,2,4,8", "comma-separated worker counts to run")
 	out := flag.String("out", "BENCH_fleet.json", "output file")
+	check := flag.String("check", "", "baseline BENCH_fleet.json to compare allocs/msg against (exit 1 on >10% regression)")
+	cpuprofile := flag.String("cpuprofile", "", "write CPU profile of the sweep to file")
+	memprofile := flag.String("memprofile", "", "write allocation profile to file after the sweep")
+	mutexprofile := flag.String("mutexprofile", "", "write mutex-contention profile to file after the sweep")
+	blockprofile := flag.String("blockprofile", "", "write blocking profile to file after the sweep")
 	flag.Parse()
 
 	q := experiments.Quick(*seed)
@@ -113,27 +202,106 @@ func main() {
 	if *companies <= 0 {
 		*companies = q.Companies
 	}
-	par := *workers
-	if par <= 0 {
-		par = max(4, runtime.GOMAXPROCS(0))
+
+	// Give the parallel runs schedulable Ps even on small containers:
+	// the sweep's point is lock-contention behaviour at 2-8 workers, and
+	// GOMAXPROCS=1 would serialise them into a misleading baseline. The
+	// effective value is recorded in the report; on a single-core host
+	// the multi-worker rows measure scheduling overhead plus per-message
+	// cost, not true parallel speedup — the warning below says so.
+	eff := runtime.GOMAXPROCS(max(4, runtime.NumCPU()))
+	eff = runtime.GOMAXPROCS(0)
+
+	counts, err := parseSweep(*sweep)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bad -sweep:", err)
+		os.Exit(2)
+	}
+	if *workers > 0 {
+		counts = []int{1, *workers}
+	}
+
+	if *mutexprofile != "" {
+		runtime.SetMutexProfileFraction(5)
+	}
+	if *blockprofile != "" {
+		runtime.SetBlockProfileRate(1000)
+	}
+	if *cpuprofile != "" {
+		fp, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer fp.Close()
+		if err := pprof.StartCPUProfile(fp); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	rep := report{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GOMAXPROCS: eff,
+		NumCPU:     runtime.NumCPU(),
 		Seed:       *seed,
 	}
-	for _, w := range []int{1, par} {
+	for _, w := range counts {
+		if w > eff {
+			fmt.Fprintf(os.Stderr, "warning: workers=%d > GOMAXPROCS=%d — lanes will time-share Ps\n", w, eff)
+		}
 		fmt.Fprintf(os.Stderr, "running fleet: %d companies x %d days, workers=%d...\n",
 			*companies, *days, w)
 		r := measure(*seed, *days, *companies, w, q.UserScale, q.VolumeScale)
-		fmt.Fprintf(os.Stderr, "  %.2fs wall, %.0f msgs/sec, %.1f allocs/msg, dns hit rate %.3f\n",
-			r.WallClockSec, r.MsgsPerSec, r.AllocsPerMsg, r.DNSCacheRate)
+		fmt.Fprintf(os.Stderr, "  %.2fs wall, %.0f msgs/sec, %.1f allocs/msg, %.0f mutex-ns/msg, dns hit rate %.3f\n",
+			r.WallClockSec, r.MsgsPerSec, r.AllocsPerMsg, r.MutexWaitNsPerMsg, r.DNSCacheRate)
 		rep.Runs = append(rep.Runs, r)
 	}
-	if base := rep.Runs[0].MsgsPerSec; base > 0 {
-		rep.Speedup = rep.Runs[len(rep.Runs)-1].MsgsPerSec / base
+	if base := rep.Runs[0].MsgsPerSec; base > 0 && rep.Runs[0].Workers == 1 {
+		bestRate := 0.0
+		for _, r := range rep.Runs[1:] {
+			if r.MsgsPerSec > bestRate {
+				bestRate = r.MsgsPerSec
+			}
+		}
+		rep.Speedup = bestRate / base
+	}
+
+	if *memprofile != "" {
+		fp, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(fp, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+		}
+		fp.Close()
+	}
+	if *mutexprofile != "" {
+		fp, err := os.Create(*mutexprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mutexprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.Lookup("mutex").WriteTo(fp, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "mutexprofile:", err)
+		}
+		fp.Close()
+	}
+	if *blockprofile != "" {
+		fp, err := os.Create(*blockprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "blockprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.Lookup("block").WriteTo(fp, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "blockprofile:", err)
+		}
+		fp.Close()
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -147,4 +315,11 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (speedup %.2fx over workers=1)\n", *out, rep.Speedup)
+
+	if *check != "" {
+		if err := checkRegression(*check, rep.Runs); err != nil {
+			fmt.Fprintln(os.Stderr, "regression check FAILED:", err)
+			os.Exit(1)
+		}
+	}
 }

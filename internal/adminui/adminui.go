@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"html/template"
 	"net/http"
+	"runtime"
+	"runtime/metrics"
 	"sort"
 	"strings"
 
@@ -212,6 +214,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "rbl_cache_hits %d\n", st.Hits)
 		fmt.Fprintf(w, "rbl_cache_hit_rate %.4f\n", st.HitRate())
 	}
+	// Process-level contention counters: the cumulative time goroutines
+	// have spent blocked on mutexes is the live-deployment check that the
+	// engine's hot path stays contention-free (near-zero growth under
+	// load is the healthy reading).
+	sample := []metrics.Sample{{Name: "/sync/mutex/wait/total:seconds"}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() == metrics.KindFloat64 {
+		fmt.Fprintf(w, "mutex_wait_seconds %.6f\n", sample[0].Value.Float64())
+	}
+	fmt.Fprintf(w, "gomaxprocs %d\n", runtime.GOMAXPROCS(0))
+	fmt.Fprintf(w, "goroutines %d\n", runtime.NumGoroutine())
 }
 
 var reputationTmpl = template.Must(template.New("reputation").Parse(`<!DOCTYPE html>

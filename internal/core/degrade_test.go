@@ -37,10 +37,10 @@ func TestDNSDegradeFailOpenAccepts(t *testing.T) {
 	}
 	found := false
 	for _, ev := range events {
-		if ev.Kind == maillog.KindDegraded && ev.Fields["component"] == "dns-resolve" {
+		if ev.Kind == maillog.KindDegraded && ev.Field("component") == "dns-resolve" {
 			found = true
-			if ev.Fields["mode"] != "fail-open" || ev.Fields["action"] != "accept" {
-				t.Fatalf("degraded event fields = %v", ev.Fields)
+			if ev.Field("mode") != "fail-open" || ev.Field("action") != "accept" {
+				t.Fatalf("degraded event fields = %v", ev.FieldMap())
 			}
 		}
 	}

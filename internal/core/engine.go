@@ -16,9 +16,11 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/captcha"
@@ -224,7 +226,8 @@ type quarantined struct {
 	msg        *mail.Message
 	queuedAt   time.Time
 	challenged bool
-	pk         string // pairKey when challenged or suppressed
+	pk         pairKey // pending-challenge pair when challenged or suppressed
+	hasPK      bool
 }
 
 // Metrics is a snapshot of the engine's counters. All counters are
@@ -282,7 +285,113 @@ type Metrics struct {
 	DigestDeleted     int64
 }
 
+// counterStripes is the shard count of the lock-striped string-keyed
+// counter maps. Filter/component name cardinality is tiny (a handful of
+// filters), so a small power of two keeps the memory footprint low while
+// still splitting contention across lanes.
+const counterStripes = 8
+
+// stripedCounts is a lock-striped map[string]*atomic.Int64 for keyed
+// aggregates on the hot path (filter drops, degraded decisions). The
+// common case — bumping a counter that already exists — takes a shard
+// read-lock plus one atomic add and never allocates.
+type stripedCounts struct {
+	shards [counterStripes]struct {
+		mu sync.RWMutex
+		m  map[string]*atomic.Int64
+	}
+}
+
+func newStripedCounts() *stripedCounts {
+	sc := &stripedCounts{}
+	for i := range sc.shards {
+		sc.shards[i].m = make(map[string]*atomic.Int64)
+	}
+	return sc
+}
+
+// strHash is FNV-1a over s without converting to []byte.
+func strHash(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+// Add increments the named counter by delta.
+func (sc *stripedCounts) Add(key string, delta int64) {
+	sh := &sc.shards[strHash(key)%counterStripes]
+	sh.mu.RLock()
+	c := sh.m[key]
+	sh.mu.RUnlock()
+	if c == nil {
+		sh.mu.Lock()
+		if c = sh.m[key]; c == nil {
+			c = new(atomic.Int64)
+			sh.m[key] = c
+		}
+		sh.mu.Unlock()
+	}
+	c.Add(delta)
+}
+
+// Snapshot copies the counters into a fresh map.
+func (sc *stripedCounts) Snapshot() map[string]int64 {
+	out := make(map[string]int64)
+	for i := range sc.shards {
+		sh := &sc.shards[i]
+		sh.mu.RLock()
+		for k, c := range sh.m {
+			out[k] = c.Load()
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// counters is the engine's sharded bookkeeping: one atomic per scalar
+// metric, fixed atomic arrays for the enum-keyed aggregates, and
+// lock-striped maps for the string-keyed ones. Incrementing any of them
+// from the per-message path takes no engine-wide lock; Metrics()
+// assembles a snapshot by loading each one.
+type counters struct {
+	mtaIncoming atomic.Int64
+	mtaInBytes  atomic.Int64
+	mtaDropped  [UnknownRecipient + 1]atomic.Int64 // by MTAReason
+
+	spoolWhite    atomic.Int64
+	spoolBlack    atomic.Int64
+	spoolGray     atomic.Int64
+	dispatchBytes atomic.Int64
+
+	filterDropped        *stripedCounts // by filter name
+	challengesSent       atomic.Int64
+	challengeBytes       atomic.Int64
+	quarantineOnly       atomic.Int64
+	challengeSuppressed  atomic.Int64
+	challengeRateLimited atomic.Int64
+	filterDegraded       *stripedCounts // by component name
+	mtaDegradedAccept    atomic.Int64
+	mtaDegradedDrop      atomic.Int64
+
+	reputationFastPath atomic.Int64
+	reputationSuspect  atomic.Int64
+
+	delivered         [ViaDigest + 1]atomic.Int64 // by DeliveryVia
+	quarantineExpired atomic.Int64
+	digestDeleted     atomic.Int64
+}
+
 // Engine is one company's CR installation. It is safe for concurrent use.
+//
+// Concurrency design: counters live in per-counter atomics and striped
+// maps (see counters); the optional callbacks (event sink, inbox sink,
+// challenge sender, reputation store) are atomic pointers loaded without
+// locking; the read-mostly account tables (users, rejected) sit behind an
+// RWMutex; and e.mu — the only remaining exclusive lock — guards just the
+// quarantine state machine (quarantine + byRcpt index + pendingChallenge),
+// the challenge rate window and the delivery log.
 type Engine struct {
 	cfg      Config
 	clk      clock.Clock
@@ -290,29 +399,44 @@ type Engine struct {
 	chain    *filters.Chain
 	wl       *whitelist.Store
 	captcha  *captcha.Service
-	sendCh   ChallengeSender
-	sink     func(maillog.Event)           // optional decision log
-	inbox    func(Delivery, *mail.Message) // optional delivery store
-	rep      *reputation.Store             // optional sender-reputation store
+
+	sendCh atomic.Pointer[ChallengeSender]
+	sink   atomic.Pointer[func(maillog.Event)]           // optional decision log
+	inbox  atomic.Pointer[func(Delivery, *mail.Message)] // optional delivery store
+	rep    atomic.Pointer[reputation.Store]              // optional sender-reputation store
+
+	acctMu   sync.RWMutex
+	users    map[mail.Address]bool // protected accounts, by canonical address
+	rejected map[mail.Address]bool // administratively rejected senders
 
 	mu         sync.Mutex
-	users      map[string]bool // protected accounts, by address key
-	rejected   map[string]bool // administratively rejected senders
 	quarantine map[string]*quarantined
-	// pendingChallenge tracks outstanding challenges per
-	// "rcptKey|senderKey" so a sender is challenged at most once per
-	// mailbox at a time; later messages queue behind the first.
-	pendingChallenge map[string][]string // pair key -> quarantined msg IDs
+	// byRcpt indexes quarantine by canonical recipient so digest
+	// assembly touches only the user's own items instead of scanning
+	// the whole spool.
+	byRcpt map[mail.Address]map[string]*quarantined
+	// pendingChallenge tracks outstanding challenges per (recipient,
+	// sender) pair so a sender is challenged at most once per mailbox
+	// at a time; later messages queue behind the first.
+	pendingChallenge map[pairKey][]string // pair -> quarantined msg IDs
 	// rate limiting window state.
 	rateWindowStart time.Time
 	rateWindowCount int
 	deliveries      []Delivery
-	m               Metrics
+
+	c counters
 }
 
-// pairKey identifies a (recipient, sender) challenge relationship.
-func pairKey(rcpt, sender mail.Address) string {
-	return rcpt.Key() + "|" + sender.Key()
+// pairKey identifies a (recipient, sender) challenge relationship. Both
+// addresses are stored canonicalised, so the struct is directly usable
+// as a comparable map key with no string concatenation.
+type pairKey struct {
+	rcpt   mail.Address
+	sender mail.Address
+}
+
+func makePairKey(rcpt, sender mail.Address) pairKey {
+	return pairKey{rcpt: rcpt.Canonical(), sender: sender.Canonical()}
 }
 
 // New constructs an Engine.
@@ -337,16 +461,17 @@ func New(cfg Config, clk clock.Clock, resolver dnssim.Resolver, chain *filters.C
 		resolver:         resolver,
 		chain:            chain,
 		wl:               wl,
-		sendCh:           sendCh,
-		users:            make(map[string]bool),
-		rejected:         make(map[string]bool),
+		users:            make(map[mail.Address]bool),
+		rejected:         make(map[mail.Address]bool),
 		quarantine:       make(map[string]*quarantined),
-		pendingChallenge: make(map[string][]string),
+		byRcpt:           make(map[mail.Address]map[string]*quarantined),
+		pendingChallenge: make(map[pairKey][]string),
 	}
-	e.m.MTADropped = make(map[MTAReason]int64)
-	e.m.FilterDropped = make(map[string]int64)
-	e.m.FilterDegraded = make(map[string]int64)
-	e.m.Delivered = make(map[DeliveryVia]int64)
+	if sendCh != nil {
+		e.sendCh.Store(&sendCh)
+	}
+	e.c.filterDropped = newStripedCounts()
+	e.c.filterDegraded = newStripedCounts()
 	e.captcha = captcha.NewService(captcha.Config{
 		Clock:    clk,
 		TTL:      cfg.QuarantineTTL,
@@ -360,25 +485,29 @@ func New(cfg Config, clk clock.Clock, resolver dnssim.Resolver, chain *filters.C
 	// challenges are addressed to it), but it is an administrative
 	// account rather than a protected human user.
 	if !cfg.ChallengeFrom.IsNull() && cfg.ChallengeFrom != (mail.Address{}) {
-		e.users[cfg.ChallengeFrom.Key()] = true
+		e.users[cfg.ChallengeFrom.Canonical()] = true
 	}
 	return e
 }
 
 // SetChallengeSender installs the outbound challenge transport.
 func (e *Engine) SetChallengeSender(s ChallengeSender) {
-	e.mu.Lock()
-	e.sendCh = s
-	e.mu.Unlock()
+	if s == nil {
+		e.sendCh.Store(nil)
+		return
+	}
+	e.sendCh.Store(&s)
 }
 
 // SetInboxSink installs a delivery store: every message that reaches a
 // user's inbox is handed over with its Delivery record, so a deployment
 // can persist mail (internal/mailbox) instead of only counting it.
 func (e *Engine) SetInboxSink(sink func(Delivery, *mail.Message)) {
-	e.mu.Lock()
-	e.inbox = sink
-	e.mu.Unlock()
+	if sink == nil {
+		e.inbox.Store(nil)
+		return
+	}
+	e.inbox.Store(&sink)
 }
 
 // SetEventSink installs a decision-log sink: every MTA verdict, spool
@@ -386,9 +515,11 @@ func (e *Engine) SetInboxSink(sink func(Delivery, *mail.Message)) {
 // as a maillog.Event — the log stream the paper's measurement pipeline
 // was built on. The sink runs synchronously; keep it fast.
 func (e *Engine) SetEventSink(sink func(maillog.Event)) {
-	e.mu.Lock()
-	e.sink = sink
-	e.mu.Unlock()
+	if sink == nil {
+		e.sink.Store(nil)
+		return
+	}
+	e.sink.Store(&sink)
 }
 
 // SetReputation installs the sender-reputation store. Once installed,
@@ -397,25 +528,18 @@ func (e *Engine) SetEventSink(sink func(maillog.Event)) {
 // skip the probe filters entirely. The store is advisory — a lookup
 // failure degrades fail-open to the full chain, never blocking mail.
 func (e *Engine) SetReputation(s *reputation.Store) {
-	e.mu.Lock()
-	e.rep = s
-	e.mu.Unlock()
+	e.rep.Store(s)
 }
 
 // Reputation returns the installed reputation store (nil if none).
 func (e *Engine) Reputation() *reputation.Store {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.rep
+	return e.rep.Load()
 }
 
 // recordRep adds one outcome observation for (sender, ip), if a
 // reputation store is installed.
 func (e *Engine) recordRep(sender mail.Address, ip string, o reputation.Outcome) {
-	e.mu.Lock()
-	rep := e.rep
-	e.mu.Unlock()
-	if rep != nil {
+	if rep := e.rep.Load(); rep != nil {
 		rep.Record(sender, ip, o)
 	}
 }
@@ -429,26 +553,20 @@ func (e *Engine) RecordChallengeBounce(sender mail.Address) {
 }
 
 // emit reports an event to the sink, if one is installed. kvs are
-// alternating key/value pairs.
+// alternating key/value pairs; they ride in the event's inline pair
+// storage, so emitting allocates nothing beyond what the sink keeps.
 func (e *Engine) emit(kind maillog.Kind, msgID string, kvs ...string) {
-	e.mu.Lock()
-	sink := e.sink
-	e.mu.Unlock()
+	sink := e.sink.Load()
 	if sink == nil {
 		return
 	}
-	ev := maillog.Event{
-		Time:    e.clk.Now(),
-		Company: e.cfg.Name,
-		Kind:    kind,
-		MsgID:   msgID,
-		Fields:  make(map[string]string, len(kvs)/2),
-	}
-	for i := 0; i+1 < len(kvs); i += 2 {
-		ev.Fields[kvs[i]] = kvs[i+1]
-	}
-	sink(ev)
+	(*sink)(maillog.MakeEvent(e.clk.Now(), e.cfg.Name, kind, msgID, kvs...))
 }
+
+// logging reports whether an event sink is installed, so hot-path call
+// sites can skip rendering field values (itoa, address keys) that emit
+// would discard anyway.
+func (e *Engine) logging() bool { return e.sink.Load() != nil }
 
 // Name returns the installation name.
 func (e *Engine) Name() string { return e.cfg.Name }
@@ -465,31 +583,31 @@ func (e *Engine) Whitelists() *whitelist.Store { return e.wl }
 
 // AddUser registers a protected account.
 func (e *Engine) AddUser(user mail.Address) {
-	e.mu.Lock()
-	e.users[user.Key()] = true
-	e.mu.Unlock()
+	e.acctMu.Lock()
+	e.users[user.Canonical()] = true
+	e.acctMu.Unlock()
 }
 
 // Users returns the number of protected accounts.
 func (e *Engine) Users() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.acctMu.RLock()
+	defer e.acctMu.RUnlock()
 	return len(e.users)
 }
 
 // HasUser reports whether user is a protected account.
 func (e *Engine) HasUser(user mail.Address) bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.users[user.Key()]
+	e.acctMu.RLock()
+	defer e.acctMu.RUnlock()
+	return e.users[user.Canonical()]
 }
 
 // RejectSender administratively rejects a sender address at the MTA-IN
 // (the paper's rare "Sender rejected" reason, 0.03%).
 func (e *Engine) RejectSender(sender mail.Address) {
-	e.mu.Lock()
-	e.rejected[sender.Key()] = true
-	e.mu.Unlock()
+	e.acctMu.Lock()
+	e.rejected[sender.Canonical()] = true
+	e.acctMu.Unlock()
 }
 
 func (e *Engine) localDomain(d string) bool {
@@ -543,10 +661,10 @@ func (e *Engine) checkMTAIn(msg *mail.Message) (reason MTAReason, degraded bool)
 		}
 	}
 	// 4. Administratively rejected sender.
-	e.mu.Lock()
-	rej := e.rejected[msg.EnvelopeFrom.Key()]
-	known := e.users[msg.Rcpt.Key()]
-	e.mu.Unlock()
+	e.acctMu.RLock()
+	rej := e.rejected[msg.EnvelopeFrom.Canonical()]
+	known := e.users[msg.Rcpt.Canonical()]
+	e.acctMu.RUnlock()
 	if rej {
 		return SenderRejected, degraded
 	}
@@ -604,69 +722,59 @@ func (e *Engine) lookupResolvable(domain string) (bool, error) {
 // been made and any side effects (delivery, challenge, quarantine) have
 // happened.
 func (e *Engine) Receive(msg *mail.Message) MTAReason {
-	e.mu.Lock()
-	e.m.MTAIncoming++
-	e.m.MTAInBytes += int64(msg.Size)
-	e.mu.Unlock()
+	e.c.mtaIncoming.Add(1)
+	e.c.mtaInBytes.Add(int64(msg.Size))
 
 	r, degraded := e.checkMTAIn(msg)
 	if degraded {
 		var action string
-		e.mu.Lock()
 		switch r {
 		case Unresolvable:
 			action = "drop"
-			e.m.MTADegradedDrop++
+			e.c.mtaDegradedDrop.Add(1)
 		case Accepted:
 			action = "accept"
-			e.m.MTADegradedAccept++
+			e.c.mtaDegradedAccept.Add(1)
 		default:
 			// Resolvability was waived fail-open, but a later MTA-IN check
 			// (relay policy, rejected sender, unknown recipient) rejected
 			// the message anyway — not a degraded accept.
 			action = "waived"
 		}
-		e.mu.Unlock()
 		e.emit(maillog.KindDegraded, msg.ID,
 			"component", "dns-resolve", "mode", e.cfg.DNSDegrade.String(), "action", action)
 	}
 	if r != Accepted {
-		e.mu.Lock()
-		e.m.MTADropped[r]++
-		e.mu.Unlock()
-		e.emit(maillog.KindMTADrop, msg.ID, "reason", r.String(), "size", itoa(msg.Size))
+		e.c.mtaDropped[r].Add(1)
+		if e.logging() {
+			e.emit(maillog.KindMTADrop, msg.ID, "reason", r.String(), "size", itoa(msg.Size))
+		}
 		return r
 	}
-	e.emit(maillog.KindMTAAccept, msg.ID, "size", itoa(msg.Size))
+	if e.logging() {
+		e.emit(maillog.KindMTAAccept, msg.ID, "size", itoa(msg.Size))
+	}
 	e.dispatch(msg)
 	return Accepted
 }
 
-func itoa(n int) string { return fmt.Sprintf("%d", n) }
+func itoa(n int) string { return strconv.Itoa(n) }
 
 // dispatch routes an accepted message to white, black or gray.
 func (e *Engine) dispatch(msg *mail.Message) {
-	e.mu.Lock()
-	e.m.DispatchBytes += int64(msg.Size)
-	e.mu.Unlock()
+	e.c.dispatchBytes.Add(int64(msg.Size))
 	user, sender := msg.Rcpt, msg.EnvelopeFrom
 	switch {
 	case !sender.IsNull() && e.wl.IsBlack(user, sender):
-		e.mu.Lock()
-		e.m.SpoolBlack++
-		e.mu.Unlock()
+		e.c.spoolBlack.Add(1)
 		e.emit(maillog.KindDispatch, msg.ID, "spool", Black.String())
 		e.recordRep(sender, msg.ClientIP, reputation.Spam)
 	case !sender.IsNull() && e.wl.IsWhite(user, sender):
-		e.mu.Lock()
-		e.m.SpoolWhite++
-		e.mu.Unlock()
+		e.c.spoolWhite.Add(1)
 		e.emit(maillog.KindDispatch, msg.ID, "spool", White.String())
 		e.deliver(msg, ViaWhitelist)
 	default:
-		e.mu.Lock()
-		e.m.SpoolGray++
-		e.mu.Unlock()
+		e.c.spoolGray.Add(1)
 		e.emit(maillog.KindDispatch, msg.ID, "spool", Gray.String())
 		e.handleGray(msg)
 	}
@@ -679,24 +787,18 @@ func (e *Engine) dispatch(msg *mail.Message) {
 // never silent — a maillog "reputation" event records the band, score
 // and contributing keys, and Metrics.ReputationFastPath counts it.
 func (e *Engine) handleGray(msg *mail.Message) GrayOutcome {
-	e.mu.Lock()
-	rep := e.rep
-	e.mu.Unlock()
+	rep := e.rep.Load()
 	if rep != nil && e.chain != nil && !msg.EnvelopeFrom.IsNull() {
 		v, err := rep.Lookup(msg.EnvelopeFrom, msg.ClientIP)
 		switch {
 		case err != nil:
 			// Store unavailable: reputation is advisory, so fail open to
 			// the full filter chain — never block or drop on its account.
-			e.mu.Lock()
-			e.m.FilterDegraded["reputation"]++
-			e.mu.Unlock()
+			e.c.filterDegraded.Add("reputation", 1)
 			e.emit(maillog.KindDegraded, msg.ID,
 				"component", "reputation", "mode", filters.FailOpen.String(), "action", "pass")
 		case v.Band == reputation.Trusted:
-			e.mu.Lock()
-			e.m.ReputationFastPath++
-			e.mu.Unlock()
+			e.c.reputationFastPath.Add(1)
 			e.emitReputation(msg.ID, "fast-path", v)
 			return e.challengeOrQuarantine(msg)
 		}
@@ -704,9 +806,7 @@ func (e *Engine) handleGray(msg *mail.Message) GrayOutcome {
 	if e.chain != nil {
 		o := e.chain.Run(msg)
 		for _, d := range o.Degraded {
-			e.mu.Lock()
-			e.m.FilterDegraded[d.Filter]++
-			e.mu.Unlock()
+			e.c.filterDegraded.Add(d.Filter, 1)
 			action := "pass"
 			if d.Mode == filters.FailClosed {
 				action = "drop"
@@ -715,12 +815,10 @@ func (e *Engine) handleGray(msg *mail.Message) GrayOutcome {
 				"component", d.Filter, "mode", d.Mode.String(), "action", action)
 		}
 		if o.Result.Verdict == filters.Drop {
-			e.mu.Lock()
-			e.m.FilterDropped[o.DroppedBy]++
+			e.c.filterDropped.Add(o.DroppedBy, 1)
 			if o.DroppedBy == "reputation" {
-				e.m.ReputationSuspect++
+				e.c.reputationSuspect.Add(1)
 			}
-			e.mu.Unlock()
 			e.emit(maillog.KindFilterDrop, msg.ID, "filter", o.DroppedBy)
 			switch o.DroppedBy {
 			case "reputation":
@@ -744,6 +842,9 @@ func (e *Engine) handleGray(msg *mail.Message) GrayOutcome {
 
 // emitReputation logs one reputation decision with its evidence.
 func (e *Engine) emitReputation(msgID, action string, v reputation.Verdict) {
+	if !e.logging() {
+		return
+	}
 	keys := make([]string, len(v.Keys))
 	for i, k := range v.Keys {
 		keys[i] = k.Key
@@ -751,8 +852,36 @@ func (e *Engine) emitReputation(msgID, action string, v reputation.Verdict) {
 	e.emit(maillog.KindReputation, msgID,
 		"action", action,
 		"band", v.Band.String(),
-		"score", fmt.Sprintf("%.3f", v.Score),
+		"score", strconv.FormatFloat(v.Score, 'f', 3, 64),
 		"keys", strings.Join(keys, ","))
+}
+
+// addQuarLocked inserts q into the quarantine and its recipient index.
+// Callers must hold e.mu.
+func (e *Engine) addQuarLocked(q *quarantined) {
+	id := q.msg.ID
+	e.quarantine[id] = q
+	rk := q.msg.Rcpt.Canonical()
+	byID := e.byRcpt[rk]
+	if byID == nil {
+		byID = make(map[string]*quarantined)
+		e.byRcpt[rk] = byID
+	}
+	byID[id] = q
+}
+
+// delQuarLocked removes q from the quarantine and its recipient index.
+// Callers must hold e.mu.
+func (e *Engine) delQuarLocked(q *quarantined) {
+	id := q.msg.ID
+	delete(e.quarantine, id)
+	rk := q.msg.Rcpt.Canonical()
+	if byID := e.byRcpt[rk]; byID != nil {
+		delete(byID, id)
+		if len(byID) == 0 {
+			delete(e.byRcpt, rk)
+		}
+	}
 }
 
 // challengeOrQuarantine is the post-filter half of the gray path:
@@ -765,22 +894,22 @@ func (e *Engine) challengeOrQuarantine(msg *mail.Message) GrayOutcome {
 	if msg.EnvelopeFrom.IsNull() {
 		// A bounce: quarantine for the digest but never challenge.
 		e.mu.Lock()
-		e.quarantine[msg.ID] = q
-		e.m.QuarantineOnly++
+		e.addQuarLocked(q)
 		e.mu.Unlock()
+		e.c.quarantineOnly.Add(1)
 		return GrayQuarantinedOnly
 	}
 
-	pk := pairKey(msg.Rcpt, msg.EnvelopeFrom)
-	q.pk = pk
+	pk := makePairKey(msg.Rcpt, msg.EnvelopeFrom)
+	q.pk, q.hasPK = pk, true
 	e.mu.Lock()
 	if ids := e.pendingChallenge[pk]; len(ids) > 0 {
 		// A challenge for this sender/mailbox pair is already out; hold
 		// the message behind it instead of sending another challenge.
 		e.pendingChallenge[pk] = append(ids, msg.ID)
-		e.quarantine[msg.ID] = q
-		e.m.ChallengeSuppressed++
+		e.addQuarLocked(q)
 		e.mu.Unlock()
+		e.c.challengeSuppressed.Add(1)
 		return GrayQuarantinedOnly
 	}
 	if e.cfg.MaxChallengesPerHour > 0 {
@@ -794,9 +923,9 @@ func (e *Engine) challengeOrQuarantine(msg *mail.Message) GrayOutcome {
 			// pending entry stays so a later message from the same pair
 			// does not slip a challenge through either.
 			e.pendingChallenge[pk] = []string{msg.ID}
-			e.quarantine[msg.ID] = q
-			e.m.ChallengeRateLimited++
+			e.addQuarLocked(q)
 			e.mu.Unlock()
+			e.c.challengeRateLimited.Add(1)
 			return GrayQuarantinedOnly
 		}
 		e.rateWindowCount++
@@ -807,16 +936,17 @@ func (e *Engine) challengeOrQuarantine(msg *mail.Message) GrayOutcome {
 	ch := e.captcha.Issue(msg.ID, msg.Rcpt, msg.EnvelopeFrom)
 	q.challenged = true
 	e.mu.Lock()
-	e.quarantine[msg.ID] = q
-	e.m.ChallengesSent++
-	e.m.ChallengeBytes += int64(e.cfg.ChallengeSize)
-	send := e.sendCh
+	e.addQuarLocked(q)
 	e.mu.Unlock()
+	e.c.challengesSent.Add(1)
+	e.c.challengeBytes.Add(int64(e.cfg.ChallengeSize))
 
-	e.emit(maillog.KindChallenge, msg.ID, "to", msg.EnvelopeFrom.Key())
+	if e.logging() {
+		e.emit(maillog.KindChallenge, msg.ID, "to", msg.EnvelopeFrom.Key())
+	}
 	e.recordRep(msg.EnvelopeFrom, msg.ClientIP, reputation.Challenged)
-	if send != nil {
-		send(OutboundChallenge{
+	if send := e.sendCh.Load(); send != nil {
+		(*send)(OutboundChallenge{
 			MsgID:   msg.ID,
 			Token:   ch.Token,
 			From:    e.cfg.ChallengeFrom,
@@ -847,13 +977,12 @@ func (e *Engine) deliver(msg *mail.Message, via DeliveryVia) {
 	}
 	e.mu.Lock()
 	e.deliveries = append(e.deliveries, d)
-	e.m.Delivered[via]++
-	inbox := e.inbox
 	e.mu.Unlock()
+	e.c.delivered[via].Add(1)
 	e.emit(maillog.KindDeliver, msg.ID, "via", via.String())
 	e.recordRep(msg.EnvelopeFrom, msg.ClientIP, reputation.Delivered)
-	if inbox != nil {
-		inbox(d, msg)
+	if inbox := e.inbox.Load(); inbox != nil {
+		(*inbox)(d, msg)
 	}
 }
 
@@ -864,7 +993,7 @@ func (e *Engine) onChallengeSolved(ch *captcha.Challenge) {
 	e.wl.AddWhite(ch.Recipient, ch.Sender, whitelist.SourceChallenge)
 	e.recordRep(ch.Sender, "", reputation.Solved)
 
-	pk := pairKey(ch.Recipient, ch.Sender)
+	pk := makePairKey(ch.Recipient, ch.Sender)
 	e.mu.Lock()
 	ids := e.pendingChallenge[pk]
 	delete(e.pendingChallenge, pk)
@@ -872,14 +1001,14 @@ func (e *Engine) onChallengeSolved(ch *captcha.Challenge) {
 	for _, id := range ids {
 		if q, ok := e.quarantine[id]; ok {
 			release = append(release, q)
-			delete(e.quarantine, id)
+			e.delQuarLocked(q)
 		}
 	}
 	// The solved message itself may predate the pending machinery (or
 	// have been queued under another key); make sure it is released.
 	if q, ok := e.quarantine[ch.MsgID]; ok {
 		release = append(release, q)
-		delete(e.quarantine, ch.MsgID)
+		e.delQuarLocked(q)
 	}
 	e.mu.Unlock()
 	for _, q := range release {
@@ -891,7 +1020,7 @@ func (e *Engine) onChallengeSolved(ch *captcha.Challenge) {
 // removePendingLocked drops id from the pair's pending-challenge queue.
 // Callers must hold e.mu.
 func (e *Engine) removePendingLocked(q *quarantined) {
-	if q.pk == "" {
+	if !q.hasPK {
 		return
 	}
 	ids := e.pendingChallenge[q.pk]
@@ -913,11 +1042,11 @@ func (e *Engine) removePendingLocked(q *quarantined) {
 func (e *Engine) AuthorizeFromDigest(user mail.Address, msgID string) error {
 	e.mu.Lock()
 	q, ok := e.quarantine[msgID]
-	if ok && q.msg.Rcpt.Key() != user.Key() {
+	if ok && !q.msg.Rcpt.KeyEquals(user) {
 		ok = false
 	}
 	if ok {
-		delete(e.quarantine, msgID)
+		e.delQuarLocked(q)
 		e.removePendingLocked(q)
 	}
 	e.mu.Unlock()
@@ -936,13 +1065,13 @@ func (e *Engine) AuthorizeFromDigest(user mail.Address, msgID string) error {
 func (e *Engine) DeleteFromDigest(user mail.Address, msgID string) error {
 	e.mu.Lock()
 	q, ok := e.quarantine[msgID]
-	if ok && q.msg.Rcpt.Key() != user.Key() {
+	if ok && !q.msg.Rcpt.KeyEquals(user) {
 		ok = false
 	}
 	if ok {
-		delete(e.quarantine, msgID)
+		e.delQuarLocked(q)
 		e.removePendingLocked(q)
-		e.m.DigestDeleted++
+		e.c.digestDeleted.Add(1)
 	}
 	e.mu.Unlock()
 	if !ok {
@@ -972,12 +1101,12 @@ func (e *Engine) ExpireQuarantine() int {
 	for id, q := range e.quarantine {
 		if now.Sub(q.queuedAt) > e.cfg.QuarantineTTL {
 			expired = append(expired, id)
-			delete(e.quarantine, id)
+			e.delQuarLocked(q)
 			e.removePendingLocked(q)
 		}
 	}
-	e.m.QuarantineExpired += int64(len(expired))
 	e.mu.Unlock()
+	e.c.quarantineExpired.Add(int64(len(expired)))
 	for _, id := range expired {
 		e.captcha.Drop(id)
 	}
@@ -987,10 +1116,12 @@ func (e *Engine) ExpireQuarantine() int {
 // PendingForUser returns the digest items for user's quarantined mail,
 // oldest first (ties broken by message ID so output is deterministic).
 func (e *Engine) PendingForUser(user mail.Address) []digest.Item {
+	rk := user.Canonical()
 	e.mu.Lock()
 	var out []digest.Item
-	for id, q := range e.quarantine {
-		if q.msg.Rcpt.Key() == user.Key() {
+	if byID := e.byRcpt[rk]; len(byID) > 0 {
+		out = make([]digest.Item, 0, len(byID))
+		for id, q := range byID {
 			out = append(out, digest.Item{
 				MsgID:   id,
 				Sender:  q.msg.EnvelopeFrom,
@@ -1000,11 +1131,11 @@ func (e *Engine) PendingForUser(user mail.Address) []digest.Item {
 		}
 	}
 	e.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool {
-		if !out[i].Queued.Equal(out[j].Queued) {
-			return out[i].Queued.Before(out[j].Queued)
+	slices.SortFunc(out, func(a, b digest.Item) int {
+		if !a.Queued.Equal(b.Queued) {
+			return a.Queued.Compare(b.Queued)
 		}
-		return out[i].MsgID < out[j].MsgID
+		return strings.Compare(a.MsgID, b.MsgID)
 	})
 	return out
 }
@@ -1026,32 +1157,49 @@ func (e *Engine) Deliveries() []Delivery {
 }
 
 // Metrics returns a deep-copied snapshot of the engine counters, merged
-// with the filter chain's per-filter drop counts.
+// with the filter chain's per-filter drop counts. The maps are built
+// fresh from the underlying atomics on every call, so the snapshot is
+// the caller's alone — mutating it cannot race with the engine, the
+// same guarantee the old single-mutex deep copy gave.
 func (e *Engine) Metrics() Metrics {
-	e.mu.Lock()
-	m := e.m
-	m.MTADropped = copyMap(e.m.MTADropped)
-	m.FilterDropped = copyMap(e.m.FilterDropped)
-	m.FilterDegraded = copyMap(e.m.FilterDegraded)
-	m.Delivered = copyMapVia(e.m.Delivered)
-	e.mu.Unlock()
+	m := Metrics{
+		MTAIncoming: e.c.mtaIncoming.Load(),
+		MTAInBytes:  e.c.mtaInBytes.Load(),
+		MTADropped:  make(map[MTAReason]int64),
+
+		SpoolWhite:    e.c.spoolWhite.Load(),
+		SpoolBlack:    e.c.spoolBlack.Load(),
+		SpoolGray:     e.c.spoolGray.Load(),
+		DispatchBytes: e.c.dispatchBytes.Load(),
+
+		FilterDropped:        e.c.filterDropped.Snapshot(),
+		ChallengesSent:       e.c.challengesSent.Load(),
+		ChallengeBytes:       e.c.challengeBytes.Load(),
+		QuarantineOnly:       e.c.quarantineOnly.Load(),
+		ChallengeSuppressed:  e.c.challengeSuppressed.Load(),
+		ChallengeRateLimited: e.c.challengeRateLimited.Load(),
+		FilterDegraded:       e.c.filterDegraded.Snapshot(),
+		MTADegradedAccept:    e.c.mtaDegradedAccept.Load(),
+		MTADegradedDrop:      e.c.mtaDegradedDrop.Load(),
+
+		ReputationFastPath: e.c.reputationFastPath.Load(),
+		ReputationSuspect:  e.c.reputationSuspect.Load(),
+
+		Delivered:         make(map[DeliveryVia]int64),
+		QuarantineExpired: e.c.quarantineExpired.Load(),
+		DigestDeleted:     e.c.digestDeleted.Load(),
+	}
+	for r := range e.c.mtaDropped {
+		if n := e.c.mtaDropped[r].Load(); n != 0 {
+			m.MTADropped[MTAReason(r)] = n
+		}
+	}
+	for v := range e.c.delivered {
+		if n := e.c.delivered[v].Load(); n != 0 {
+			m.Delivered[DeliveryVia(v)] = n
+		}
+	}
 	return m
-}
-
-func copyMap[K comparable](src map[K]int64) map[K]int64 {
-	dst := make(map[K]int64, len(src))
-	for k, v := range src {
-		dst[k] = v
-	}
-	return dst
-}
-
-func copyMapVia(src map[DeliveryVia]int64) map[DeliveryVia]int64 {
-	dst := make(map[DeliveryVia]int64, len(src))
-	for k, v := range src {
-		dst[k] = v
-	}
-	return dst
 }
 
 // ReflectionRatio returns R at the CR filter: challenges sent over

@@ -210,10 +210,10 @@ func TestReputationEndToEnd(t *testing.T) {
 	var fastPathEvents int64
 	for _, ev := range e.events {
 		agg.Add(ev)
-		if ev.Kind == maillog.KindReputation && ev.Fields["action"] == "fast-path" {
+		if ev.Kind == maillog.KindReputation && ev.Field("action") == "fast-path" {
 			fastPathEvents++
-			if ev.Fields["band"] != "trusted" || ev.Fields["keys"] == "" {
-				t.Fatalf("fast-path event missing evidence fields: %v", ev.Fields)
+			if ev.Field("band") != "trusted" || ev.Field("keys") == "" {
+				t.Fatalf("fast-path event missing evidence fields: %v", ev.FieldMap())
 			}
 		}
 	}

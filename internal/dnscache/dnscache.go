@@ -28,6 +28,7 @@ package dnscache
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
@@ -95,6 +96,37 @@ type entry struct {
 	ok   bool   // Resolvable answer
 }
 
+// ckey identifies one cached question: a record kind plus the queried
+// name. A comparable struct key avoids the "a:"+host style concatenation
+// the old flat map needed on every lookup.
+type ckey struct {
+	kind uint8 // one of the q* constants
+	name string
+}
+
+// Query kinds.
+const (
+	qA uint8 = iota
+	qMX
+	qPTR
+	qTXT
+	qResolvable
+)
+
+// cacheStripes is the lock-stripe count. Lookups hash the key to a
+// stripe, so concurrent lanes resolving different names proceed without
+// contending on one cache-wide mutex.
+const cacheStripes = 8
+
+// cacheShard is one lock stripe with its own generation word: stripes
+// notice a backend mutation independently, each flushing its own map on
+// first touch after the change.
+type cacheShard struct {
+	mu      sync.Mutex
+	gen     uint64
+	entries map[ckey]*entry
+}
+
 // Cache is a read-through TTL cache over a dnssim.Resolver. It
 // implements dnssim.Resolver itself (plus ResolvableErr), so it can be
 // dropped in anywhere a resolver is accepted — core.Engine, the
@@ -103,10 +135,12 @@ type Cache struct {
 	backend dnssim.Resolver
 	opts    Options
 
-	mu      sync.Mutex
-	gen     uint64
-	entries map[string]*entry
-	stats   Stats
+	shards [cacheStripes]cacheShard
+
+	hits      atomic.Int64
+	negHits   atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
 }
 
 // New returns a cache over backend. Options.Clock is required.
@@ -120,22 +154,37 @@ func New(backend dnssim.Resolver, opts Options) *Cache {
 	if opts.NegTTL <= 0 {
 		opts.NegTTL = DefaultNegTTL
 	}
-	c := &Cache{backend: backend, opts: opts, entries: make(map[string]*entry)}
+	c := &Cache{backend: backend, opts: opts}
+	var gen uint64
 	if opts.Gen != nil {
-		c.gen = opts.Gen()
+		gen = opts.Gen()
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[ckey]*entry)
+		c.shards[i].gen = gen
 	}
 	return c
 }
 
-// checkGenLocked flushes the cache if the backend generation moved.
-// Caller holds c.mu.
-func (c *Cache) checkGenLocked() {
+// shardFor maps a key to its stripe (FNV-1a over kind + name).
+func (c *Cache) shardFor(key ckey) *cacheShard {
+	h := uint32(2166136261)
+	h = (h ^ uint32(key.kind)) * 16777619
+	for i := 0; i < len(key.name); i++ {
+		h = (h ^ uint32(key.name[i])) * 16777619
+	}
+	return &c.shards[h%cacheStripes]
+}
+
+// checkGenLocked flushes the shard if the backend generation moved.
+// Caller holds sh.mu.
+func (c *Cache) checkGenLocked(sh *cacheShard) {
 	if c.opts.Gen == nil {
 		return
 	}
-	if g := c.opts.Gen(); g != c.gen {
-		c.gen = g
-		c.entries = make(map[string]*entry)
+	if g := c.opts.Gen(); g != sh.gen {
+		sh.gen = g
+		clear(sh.entries)
 	}
 }
 
@@ -143,28 +192,29 @@ func (c *Cache) checkGenLocked() {
 // expiry/flush regardless of how many goroutines ask concurrently
 // (per-entry-mutex single-flight: the fetcher publishes the entry with
 // its lock held, so same-key lookups queue behind the one backend call).
-func (c *Cache) do(key string, fetch func(*entry) error) (*entry, error) {
+func (c *Cache) do(key ckey, fetch func(*entry) error) (*entry, error) {
+	sh := c.shardFor(key)
 	for {
-		c.mu.Lock()
-		c.checkGenLocked()
-		e := c.entries[key]
+		sh.mu.Lock()
+		c.checkGenLocked(sh)
+		e := sh.entries[key]
 		if e == nil {
 			e = &entry{}
 			e.mu.Lock() // we are the fetcher; publish locked
-			c.entries[key] = e
-			c.stats.Misses++
-			c.mu.Unlock()
+			sh.entries[key] = e
+			c.misses.Add(1)
+			sh.mu.Unlock()
 
 			err := fetch(e)
 			if err != nil && dnssim.IsTemporary(err) {
 				// Never cache a transient failure: unpublish so the
 				// next lookup retries the backend, and surface it.
 				e.mu.Unlock()
-				c.mu.Lock()
-				if c.entries[key] == e {
-					delete(c.entries, key)
+				sh.mu.Lock()
+				if sh.entries[key] == e {
+					delete(sh.entries, key)
 				}
-				c.mu.Unlock()
+				sh.mu.Unlock()
 				return nil, err
 			}
 			e.err = err
@@ -180,9 +230,9 @@ func (c *Cache) do(key string, fetch func(*entry) error) (*entry, error) {
 		}
 		coalesced := !e.readyNow()
 		if coalesced {
-			c.stats.Coalesced++
+			c.coalesced.Add(1)
 		}
-		c.mu.Unlock()
+		sh.mu.Unlock()
 
 		e.mu.Lock() // blocks while a fetch for this key is in flight
 		if !e.ready {
@@ -196,24 +246,22 @@ func (c *Cache) do(key string, fetch func(*entry) error) (*entry, error) {
 		e.mu.Unlock()
 
 		if expired {
-			c.mu.Lock()
-			if c.entries[key] == e {
-				delete(c.entries, key)
+			sh.mu.Lock()
+			if sh.entries[key] == e {
+				delete(sh.entries, key)
 			}
 			// Undo the optimistic hit/coalesced accounting? We counted
 			// nothing yet for the non-coalesced path, and a coalesced
 			// wait that lands on an expired entry still collapsed into
 			// the earlier fetch, so the counter stands.
-			c.mu.Unlock()
+			sh.mu.Unlock()
 			continue
 		}
 		if !coalesced {
-			c.mu.Lock()
-			c.stats.Hits++
+			c.hits.Add(1)
 			if neg {
-				c.stats.NegHits++
+				c.negHits.Add(1)
 			}
-			c.mu.Unlock()
 		}
 		return e, err
 	}
@@ -233,7 +281,7 @@ func (e *entry) readyNow() bool {
 // LookupA implements dnssim.Resolver. Callers must not mutate the
 // returned slice.
 func (c *Cache) LookupA(host string) ([]string, error) {
-	e, err := c.do("a:"+host, func(e *entry) error {
+	e, err := c.do(ckey{qA, host}, func(e *entry) error {
 		v, err := c.backend.LookupA(host)
 		e.list = v
 		return err
@@ -247,7 +295,7 @@ func (c *Cache) LookupA(host string) ([]string, error) {
 // LookupMX implements dnssim.Resolver. Callers must not mutate the
 // returned slice.
 func (c *Cache) LookupMX(domain string) ([]dnssim.MX, error) {
-	e, err := c.do("mx:"+domain, func(e *entry) error {
+	e, err := c.do(ckey{qMX, domain}, func(e *entry) error {
 		v, err := c.backend.LookupMX(domain)
 		e.mxs = v
 		return err
@@ -260,7 +308,7 @@ func (c *Cache) LookupMX(domain string) ([]dnssim.MX, error) {
 
 // LookupPTR implements dnssim.Resolver.
 func (c *Cache) LookupPTR(ip string) (string, error) {
-	e, err := c.do("ptr:"+ip, func(e *entry) error {
+	e, err := c.do(ckey{qPTR, ip}, func(e *entry) error {
 		v, err := c.backend.LookupPTR(ip)
 		e.host = v
 		return err
@@ -274,7 +322,7 @@ func (c *Cache) LookupPTR(ip string) (string, error) {
 // LookupTXT implements dnssim.Resolver. Callers must not mutate the
 // returned slice.
 func (c *Cache) LookupTXT(domain string) ([]string, error) {
-	e, err := c.do("txt:"+domain, func(e *entry) error {
+	e, err := c.do(ckey{qTXT, domain}, func(e *entry) error {
 		v, err := c.backend.LookupTXT(domain)
 		e.list = v
 		return err
@@ -295,7 +343,7 @@ type resolvableProber interface {
 // domain is the NXDOMAIN case and is cached with the negative TTL;
 // temporary resolver failures pass through uncached.
 func (c *Cache) ResolvableErr(domain string) (bool, error) {
-	e, err := c.do("res:"+domain, func(e *entry) error {
+	e, err := c.do(ckey{qResolvable, domain}, func(e *entry) error {
 		ok, err := c.probeResolvable(domain)
 		e.ok = ok
 		e.neg = err == nil && !ok
@@ -334,24 +382,35 @@ func (c *Cache) probeResolvable(domain string) (bool, error) {
 
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return Stats{
+		Hits:      c.hits.Load(),
+		NegHits:   c.negHits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+	}
 }
 
 // Len returns the number of live entries (expired ones included until
 // their next touch).
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Flush drops every entry. Counters are preserved.
 func (c *Cache) Flush() {
-	c.mu.Lock()
-	c.entries = make(map[string]*entry)
-	c.mu.Unlock()
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		clear(sh.entries)
+		sh.mu.Unlock()
+	}
 }
 
 // RBLCache memoizes rbl.Provider.Query answers with a TTL on the virtual

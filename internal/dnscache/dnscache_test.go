@@ -266,3 +266,41 @@ func TestRBLCacheMemoizationAndInvalidation(t *testing.T) {
 		t.Fatal("memo served an expired listing")
 	}
 }
+
+// TestRBLCacheHitRateUnderTrapExtensions reproduces the fleet's real
+// query mix: an already-listed botnet IP keeps hitting spamtraps (each
+// hit extends its listing) while the filter chain re-queries a small set
+// of IPs. An extension cannot change any answer, so it must not flush
+// the memo — this is the regression test for the bug that collapsed the
+// fleet's RBL hit rate to ~5%.
+func TestRBLCacheHitRateUnderTrapExtensions(t *testing.T) {
+	clk := clock.NewSim(t0)
+	p := rbl.NewProvider("trapfed",
+		rbl.Policy{HitThreshold: 1, Window: 24 * time.Hour, ListingTTL: 72 * time.Hour}, clk)
+	c := NewRBL(p, clk, 30*time.Minute)
+
+	p.ReportTrapHit("203.0.113.9") // crosses the threshold: listed (gen bump)
+
+	ips := []string{"203.0.113.9", "198.51.100.1", "198.51.100.2", "198.51.100.3"}
+	for round := 0; round < 200; round++ {
+		for _, ip := range ips {
+			listed, err := c.Query(ip)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := ip == "203.0.113.9"; listed != want {
+				t.Fatalf("round %d: Query(%s) = %v, want %v", round, ip, listed, want)
+			}
+		}
+		// The listed IP hits another trap every round, extending its
+		// listing each time.
+		p.ReportTrapHit("203.0.113.9")
+		clk.Advance(time.Minute)
+	}
+
+	st := c.Stats()
+	if hr := st.HitRate(); hr < 0.9 {
+		t.Fatalf("RBL cache hit rate = %.3f (hits=%d misses=%d), want >= 0.9 — listing extensions must not flush the memo",
+			hr, st.Hits, st.Misses)
+	}
+}

@@ -64,6 +64,40 @@ func (a Address) Key() string {
 	return strings.ToLower(a.Local) + "@" + a.Domain
 }
 
+// AppendKey appends the canonical Key form to dst without the
+// intermediate string Key allocates.
+func (a Address) AppendKey(dst []byte) []byte {
+	if a.IsNull() {
+		return append(dst, '<', '>')
+	}
+	for i := 0; i < len(a.Local); i++ {
+		c := a.Local[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		dst = append(dst, c)
+	}
+	dst = append(dst, '@')
+	return append(dst, a.Domain...)
+}
+
+// Canonical returns the address in its canonical form: the local part
+// lower-cased (Domain is already lower-case from parsing). Two addresses
+// are the same mailbox exactly when their Canonical values are equal, so
+// the canonical Address is usable directly as a comparable map key —
+// the allocation-free replacement for string Key() keys on hot paths.
+// For already-lower-case locals (the overwhelmingly common case)
+// strings.ToLower returns its input and Canonical allocates nothing.
+func (a Address) Canonical() Address {
+	return Address{Local: strings.ToLower(a.Local), Domain: a.Domain}
+}
+
+// KeyEquals reports whether a and b canonicalise to the same mailbox,
+// without allocating either key.
+func (a Address) KeyEquals(b Address) bool {
+	return a.Domain == b.Domain && strings.EqualFold(a.Local, b.Local)
+}
+
 const (
 	maxLocalLen  = 64  // RFC 5321 §4.5.3.1.1
 	maxDomainLen = 255 // RFC 5321 §4.5.3.1.2

@@ -1,7 +1,6 @@
 package mail
 
 import (
-	"fmt"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -64,10 +63,33 @@ func (m *Message) Clone(rcpt Address) *Message {
 
 var idCounter atomic.Uint64
 
+// appendID renders "<prefix>-%06d" into dst. Hand-rolled so ID minting
+// costs one allocation (the returned string) instead of fmt.Sprintf's
+// several — IDs are minted once per generated message, squarely on the
+// workload hot path.
+func appendID(dst []byte, prefix string, n uint64) []byte {
+	dst = append(dst, prefix...)
+	dst = append(dst, '-')
+	var tmp [20]byte
+	i := len(tmp)
+	for n >= 10 {
+		i--
+		tmp[i] = byte('0' + n%10)
+		n /= 10
+	}
+	i--
+	tmp[i] = byte('0' + n)
+	for pad := 6 - (len(tmp) - i); pad > 0; pad-- {
+		dst = append(dst, '0')
+	}
+	return append(dst, tmp[i:]...)
+}
+
 // NewID returns a process-unique message ID with the given prefix. IDs are
 // sequential rather than random so simulation runs are reproducible.
 func NewID(prefix string) string {
-	return fmt.Sprintf("%s-%06d", prefix, idCounter.Add(1))
+	var buf [48]byte
+	return string(appendID(buf[:0], prefix, idCounter.Add(1)))
 }
 
 // ResetIDCounter resets the global ID sequence. Tests and experiment
@@ -91,7 +113,8 @@ func NewIDSource(prefix string) *IDSource { return &IDSource{prefix: prefix} }
 // Next returns the next ID in the stream.
 func (s *IDSource) Next() string {
 	s.n++
-	return fmt.Sprintf("%s-%06d", s.prefix, s.n)
+	var buf [48]byte
+	return string(appendID(buf[:0], s.prefix, s.n))
 }
 
 // SubjectWords returns the number of whitespace-separated words in the

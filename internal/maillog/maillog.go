@@ -58,7 +58,17 @@ const (
 	KindReputation Kind = "reputation"
 )
 
+// maxInlinePairs is the number of key/value pairs an Event carries
+// without allocating. Every engine emit site uses at most four.
+const maxInlinePairs = 4
+
 // Event is one structured log record.
+//
+// Field storage has two forms. Events built by the Parser (and by
+// struct-literal construction) carry a Fields map. Events built with
+// MakeEvent — the emit hot path — carry up to maxInlinePairs key/value
+// pairs inline and allocate nothing; additional pairs overflow into the
+// map. Readers should use Field/EachField/FieldMap, which consult both.
 type Event struct {
 	Time    time.Time
 	Company string
@@ -66,7 +76,58 @@ type Event struct {
 	MsgID   string
 	// Fields carries kind-specific attributes (reason, spool, via,
 	// filter, from, size...). Values must not contain spaces or '='.
+	// May be nil for events built by MakeEvent; use Field or FieldMap
+	// instead of indexing it directly.
 	Fields map[string]string
+
+	npairs int
+	pairs  [maxInlinePairs][2]string
+}
+
+// MakeEvent builds an Event from alternating key/value pairs without
+// allocating (for up to maxInlinePairs pairs — beyond that the rest
+// spill into a Fields map). A trailing odd key is ignored.
+func MakeEvent(t time.Time, company string, kind Kind, msgID string, kvs ...string) Event {
+	e := Event{Time: t, Company: company, Kind: kind, MsgID: msgID}
+	for i := 0; i+1 < len(kvs); i += 2 {
+		if e.npairs < maxInlinePairs {
+			e.pairs[e.npairs] = [2]string{kvs[i], kvs[i+1]}
+			e.npairs++
+			continue
+		}
+		if e.Fields == nil {
+			e.Fields = make(map[string]string)
+		}
+		e.Fields[kvs[i]] = kvs[i+1]
+	}
+	return e
+}
+
+// Field returns the value of the named field from either storage form,
+// or "" if absent.
+func (e Event) Field(k string) string {
+	for i := 0; i < e.npairs; i++ {
+		if e.pairs[i][0] == k {
+			return e.pairs[i][1]
+		}
+	}
+	return e.Fields[k]
+}
+
+// NumFields returns the number of fields the event carries.
+func (e Event) NumFields() int { return e.npairs + len(e.Fields) }
+
+// FieldMap materialises all fields as a fresh map (allocates; for tests
+// and debugging, not the hot path).
+func (e Event) FieldMap() map[string]string {
+	m := make(map[string]string, e.NumFields())
+	for k, v := range e.Fields {
+		m[k] = v
+	}
+	for i := 0; i < e.npairs; i++ {
+		m[e.pairs[i][0]] = e.pairs[i][1]
+	}
+	return m
 }
 
 // timeLayout is RFC3339 without a zone (logs are UTC by convention).
@@ -76,28 +137,87 @@ const timeLayout = "2006-01-02T15:04:05Z"
 //
 //	2010-07-01T10:00:00Z company-03 mta-drop msg=abc reason=unknown-recipient
 func (e Event) Format() string {
-	var b strings.Builder
-	b.WriteString(e.Time.UTC().Format(timeLayout))
-	b.WriteByte(' ')
-	b.WriteString(e.Company)
-	b.WriteByte(' ')
-	b.WriteString(string(e.Kind))
+	return string(e.AppendFormat(nil))
+}
+
+// AppendFormat appends the formatted log line (no trailing newline) to
+// dst and returns the extended slice. It is the append-based encoder
+// behind Format, Writer and Emitter: with a pre-sized dst it performs no
+// allocations, and its output is byte-for-byte identical to the
+// historical fmt/strings.Builder rendering — field keys sorted
+// ascending, single spaces, "msg=" first when MsgID is set.
+func (e Event) AppendFormat(dst []byte) []byte {
+	dst = appendTime(dst, e.Time.UTC())
+	dst = append(dst, ' ')
+	dst = append(dst, e.Company...)
+	dst = append(dst, ' ')
+	dst = append(dst, e.Kind...)
 	if e.MsgID != "" {
-		b.WriteString(" msg=")
-		b.WriteString(e.MsgID)
+		dst = append(dst, " msg="...)
+		dst = append(dst, e.MsgID...)
 	}
-	keys := make([]string, 0, len(e.Fields))
+	// Sort the keys. The inline pairs alone need no allocation; a
+	// populated overflow map falls back to a small sorted key slice.
+	if len(e.Fields) == 0 {
+		// Insertion-sort the (at most maxInlinePairs) inline pairs.
+		var keys [maxInlinePairs][2]string
+		n := e.npairs
+		copy(keys[:], e.pairs[:n])
+		for i := 1; i < n; i++ {
+			for j := i; j > 0 && keys[j][0] < keys[j-1][0]; j-- {
+				keys[j], keys[j-1] = keys[j-1], keys[j]
+			}
+		}
+		for i := 0; i < n; i++ {
+			dst = append(dst, ' ')
+			dst = append(dst, keys[i][0]...)
+			dst = append(dst, '=')
+			dst = append(dst, keys[i][1]...)
+		}
+		return dst
+	}
+	keys := make([]string, 0, e.NumFields())
 	for k := range e.Fields {
 		keys = append(keys, k)
 	}
+	for i := 0; i < e.npairs; i++ {
+		keys = append(keys, e.pairs[i][0])
+	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		b.WriteByte(' ')
-		b.WriteString(k)
-		b.WriteByte('=')
-		b.WriteString(e.Fields[k])
+		dst = append(dst, ' ')
+		dst = append(dst, k...)
+		dst = append(dst, '=')
+		dst = append(dst, e.Field(k)...)
 	}
-	return b.String()
+	return dst
+}
+
+// appendTime renders t in timeLayout ("2006-01-02T15:04:05Z") without
+// the allocation time.Format makes.
+func appendTime(dst []byte, t time.Time) []byte {
+	year, month, day := t.Date()
+	hour, minute, sec := t.Clock()
+	dst = append4(dst, year)
+	dst = append(dst, '-')
+	dst = append2(dst, int(month))
+	dst = append(dst, '-')
+	dst = append2(dst, day)
+	dst = append(dst, 'T')
+	dst = append2(dst, hour)
+	dst = append(dst, ':')
+	dst = append2(dst, minute)
+	dst = append(dst, ':')
+	dst = append2(dst, sec)
+	return append(dst, 'Z')
+}
+
+func append2(dst []byte, n int) []byte {
+	return append(dst, byte('0'+n/10%10), byte('0'+n%10))
+}
+
+func append4(dst []byte, n int) []byte {
+	return append(dst, byte('0'+n/1000%10), byte('0'+n/100%10), byte('0'+n/10%10), byte('0'+n%10))
 }
 
 // ParseLine parses one log line back into an Event.
@@ -134,13 +254,14 @@ func ParseLine(line string) (Event, error) {
 // safe for concurrent use; wrap with a mutex or use one per goroutine.
 type Writer struct {
 	w   *bufio.Writer
+	buf []byte // reused line-encoding buffer; amortises to zero allocs
 	err error
 	n   int64
 }
 
 // NewWriter returns a log writer over w.
 func NewWriter(w io.Writer) *Writer {
-	return &Writer{w: bufio.NewWriter(w)}
+	return &Writer{w: bufio.NewWriter(w), buf: make([]byte, 0, 256)}
 }
 
 // Write appends one event. Errors are sticky and reported by Flush.
@@ -148,11 +269,9 @@ func (lw *Writer) Write(e Event) {
 	if lw.err != nil {
 		return
 	}
-	if _, err := lw.w.WriteString(e.Format()); err != nil {
-		lw.err = err
-		return
-	}
-	if err := lw.w.WriteByte('\n'); err != nil {
+	lw.buf = e.AppendFormat(lw.buf[:0])
+	lw.buf = append(lw.buf, '\n')
+	if _, err := lw.w.Write(lw.buf); err != nil {
 		lw.err = err
 		return
 	}
@@ -243,31 +362,31 @@ func (a *Aggregate) Add(e Event) {
 		switch e.Kind {
 		case KindMTAAccept:
 			c.Incoming++
-			if s, err := strconv.ParseInt(e.Fields["size"], 10, 64); err == nil {
+			if s, err := strconv.ParseInt(e.Field("size"), 10, 64); err == nil {
 				c.InBytes += s
 			}
 		case KindMTADrop:
 			c.Incoming++
-			c.MTADrops[e.Fields["reason"]]++
-			if s, err := strconv.ParseInt(e.Fields["size"], 10, 64); err == nil {
+			c.MTADrops[e.Field("reason")]++
+			if s, err := strconv.ParseInt(e.Field("size"), 10, 64); err == nil {
 				c.InBytes += s
 			}
 		case KindDispatch:
-			c.Spools[e.Fields["spool"]]++
+			c.Spools[e.Field("spool")]++
 		case KindFilterDrop:
-			c.FilterDrops[e.Fields["filter"]]++
+			c.FilterDrops[e.Field("filter")]++
 		case KindChallenge:
 			c.Challenges++
 		case KindDeliver:
-			c.Deliveries[e.Fields["via"]]++
+			c.Deliveries[e.Field("via")]++
 		case KindWebVisit:
 			c.WebVisits++
 		case KindWebSolve:
 			c.WebSolves++
 		case KindDegraded:
-			c.Degraded[e.Fields["component"]]++
+			c.Degraded[e.Field("component")]++
 		case KindReputation:
-			c.Reputation[e.Fields["action"]]++
+			c.Reputation[e.Field("action")]++
 		}
 	}
 }

@@ -171,9 +171,12 @@ func (p *Provider) ReportTrapHit(ip string) {
 	p.hits[ip] = recent
 
 	if until, listed := p.listings[ip]; listed && until.After(now) {
-		// Already listed: extend.
+		// Already listed: extend. No generation bump — extending a live
+		// listing further into the future cannot change the answer Query
+		// gives for any IP right now, so cached memos stay valid. (Bumping
+		// here used to flush the whole RBL cache on nearly every trap hit
+		// from an already-listed botnet IP, collapsing the hit rate to ~5%.)
 		p.listings[ip] = now.Add(p.policy.ListingTTL)
-		p.gen.Add(1)
 		return
 	}
 	if len(recent) >= p.policy.HitThreshold {

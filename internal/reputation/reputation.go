@@ -24,10 +24,11 @@ package reputation
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
@@ -241,7 +242,7 @@ func (e *entry) score() float64 {
 // shard is one lock stripe.
 type shard struct {
 	mu      sync.Mutex
-	entries map[string]*entry
+	entries map[repKey]*entry
 }
 
 // Store is the sharded reputation store. It is safe for concurrent use;
@@ -253,11 +254,10 @@ type Store struct {
 	shards []shard
 	mask   uint32
 
-	mu            sync.Mutex // counters below only
-	records       int64
-	lookups       int64
-	droppedWrites int64
-	failedLookups int64
+	records       atomic.Int64
+	lookups       atomic.Int64
+	droppedWrites atomic.Int64
+	failedLookups atomic.Int64
 }
 
 // NewStore builds a store on the given clock.
@@ -265,7 +265,7 @@ func NewStore(cfg Config, clk clock.Clock) *Store {
 	cfg = cfg.withDefaults()
 	s := &Store{cfg: cfg, clk: clk, shards: make([]shard, cfg.Shards), mask: uint32(cfg.Shards - 1)}
 	for i := range s.shards {
-		s.shards[i].entries = make(map[string]*entry)
+		s.shards[i].entries = make(map[repKey]*entry)
 	}
 	return s
 }
@@ -273,51 +273,105 @@ func NewStore(cfg Config, clk clock.Clock) *Store {
 // Config returns the effective (default-filled) configuration.
 func (s *Store) Config() Config { return s.cfg }
 
-// Key namespaces. One flat sharded map holds all three key kinds.
+// Key namespaces. One flat sharded map holds all three key kinds. The
+// prefixed-string form ("a:bob@x.com", "d:x.com", "i:192.0.2.1") is the
+// external representation used by exports and reports; internally keys
+// are comparable structs so the hot path never concatenates.
 const (
 	addrPrefix   = "a:"
 	domainPrefix = "d:"
 	ipPrefix     = "i:"
 )
 
-// keysFor lists the store keys a message contributes to. The null
-// sender has no usable identity.
-func keysFor(sender mail.Address, ip string) []string {
-	var keys []string
-	if !sender.IsNull() {
-		keys = append(keys, addrPrefix+sender.Key(), domainPrefix+sender.Domain)
-	}
-	if ip != "" {
-		keys = append(keys, ipPrefix+ip)
-	}
-	return keys
+// repKey is a store key: a kind tag ('a' address, 'd' domain, 'i' IP)
+// plus the identity split into local/domain parts so address keys reuse
+// the message's own strings. Using a comparable struct instead of the
+// prefixed string means Record/Lookup build keys with zero allocations
+// (for the common all-lower-case local part, ToLower returns its input).
+type repKey struct {
+	kind  byte
+	local string // address keys only; lower-cased
+	name  string // domain ('a'/'d') or IP ('i')
 }
 
-// shardFor maps a key to its lock stripe (FNV-1a).
-func (s *Store) shardFor(key string) *shard {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return &s.shards[h.Sum32()&s.mask]
+// String returns the external prefixed form ("a:bob@x.com", "d:x.com",
+// "i:192.0.2.1").
+func (k repKey) String() string {
+	if k.kind == 'a' {
+		return string([]byte{k.kind, ':'}) + k.local + "@" + k.name
+	}
+	return string([]byte{k.kind, ':'}) + k.name
+}
+
+// parseRepKey inverts String (for Import of exported snapshots).
+func parseRepKey(s string) (repKey, bool) {
+	if len(s) < 2 || s[1] != ':' {
+		return repKey{}, false
+	}
+	k := repKey{kind: s[0], name: s[2:]}
+	if k.kind == 'a' {
+		at := strings.LastIndexByte(k.name, '@')
+		if at < 0 {
+			return repKey{}, false
+		}
+		k.local, k.name = k.name[:at], k.name[at+1:]
+	}
+	return k, true
+}
+
+// addrKey builds the canonical address key for a sender.
+func addrKey(sender mail.Address) repKey {
+	return repKey{kind: 'a', local: strings.ToLower(sender.Local), name: sender.Domain}
+}
+
+// keysFor fills keys with the store keys a message contributes to and
+// returns how many were set. The null sender has no usable identity.
+func keysFor(sender mail.Address, ip string, keys *[3]repKey) int {
+	n := 0
+	if !sender.IsNull() {
+		keys[n] = addrKey(sender)
+		keys[n+1] = repKey{kind: 'd', name: sender.Domain}
+		n += 2
+	}
+	if ip != "" {
+		keys[n] = repKey{kind: 'i', name: ip}
+		n++
+	}
+	return n
+}
+
+// shardFor maps a key to its lock stripe (FNV-1a over the key parts,
+// computed inline — no []byte conversion, no hasher allocation).
+func (s *Store) shardFor(key repKey) *shard {
+	h := uint32(2166136261)
+	h = (h ^ uint32(key.kind)) * 16777619
+	for i := 0; i < len(key.local); i++ {
+		h = (h ^ uint32(key.local[i])) * 16777619
+	}
+	h = (h ^ uint32('@')) * 16777619
+	for i := 0; i < len(key.name); i++ {
+		h = (h ^ uint32(key.name[i])) * 16777619
+	}
+	return &s.shards[h&s.mask]
 }
 
 // Record adds one outcome observation for the sender. An injected
 // store fault drops the write (counted, never surfaced): reputation is
 // advisory, so a broken store must not block the mail path.
 func (s *Store) Record(sender mail.Address, ip string, o Outcome) {
-	keys := keysFor(sender, ip)
-	if len(keys) == 0 {
+	var keys [3]repKey
+	n := keysFor(sender, ip, &keys)
+	if n == 0 {
 		return
 	}
 	if inj := s.cfg.Injector; inj != nil {
 		if d := inj.Decide("reputation", 0); d.Err != nil {
-			s.mu.Lock()
-			s.droppedWrites++
-			s.mu.Unlock()
+			s.droppedWrites.Add(1)
 			return
 		}
 	}
 	now := s.clk.Now()
-	for _, key := range keys {
+	for _, key := range keys[:n] {
 		sh := s.shardFor(key)
 		sh.mu.Lock()
 		e := sh.entries[key]
@@ -329,9 +383,7 @@ func (s *Store) Record(sender mail.Address, ip string, o Outcome) {
 		e.counts[o]++
 		sh.mu.Unlock()
 	}
-	s.mu.Lock()
-	s.records++
-	s.mu.Unlock()
+	s.records.Add(1)
 }
 
 // KeyScore is one key's contribution to a verdict.
@@ -355,14 +407,10 @@ type Verdict struct {
 // exists only under fault injection (store unavailable); callers treat
 // it as Neutral / fail-open.
 func (s *Store) Lookup(sender mail.Address, ip string) (Verdict, error) {
-	s.mu.Lock()
-	s.lookups++
-	s.mu.Unlock()
+	s.lookups.Add(1)
 	if inj := s.cfg.Injector; inj != nil {
 		if d := inj.Decide("reputation", 0); d.Err != nil {
-			s.mu.Lock()
-			s.failedLookups++
-			s.mu.Unlock()
+			s.failedLookups.Add(1)
 			return Verdict{}, fmt.Errorf("reputation: store unavailable: %w", d.Err)
 		}
 	}
@@ -372,38 +420,40 @@ func (s *Store) Lookup(sender mail.Address, ip string) (Verdict, error) {
 // verdict is Lookup without the fault gate.
 func (s *Store) verdict(sender mail.Address, ip string) Verdict {
 	now := s.clk.Now()
-	type keyed struct {
-		key    string
-		weight float64
-	}
-	var candidates []keyed
+	var keys [3]repKey
+	var weights [3]float64
+	n := 0
 	if !sender.IsNull() {
-		candidates = append(candidates,
-			keyed{addrPrefix + sender.Key(), s.cfg.AddrWeight},
-			keyed{domainPrefix + sender.Domain, s.cfg.DomainWeight})
+		keys[0], weights[0] = addrKey(sender), s.cfg.AddrWeight
+		keys[1], weights[1] = repKey{kind: 'd', name: sender.Domain}, s.cfg.DomainWeight
+		n = 2
 	}
 	if ip != "" {
-		candidates = append(candidates, keyed{ipPrefix + ip, s.cfg.IPWeight})
+		keys[n], weights[n] = repKey{kind: 'i', name: ip}, s.cfg.IPWeight
+		n++
 	}
 	var v Verdict
 	var wsum, acc float64
-	for _, c := range candidates {
-		sh := s.shardFor(c.key)
+	for i := 0; i < n; i++ {
+		key, weight := keys[i], weights[i]
+		sh := s.shardFor(key)
 		sh.mu.Lock()
-		e := sh.entries[c.key]
+		e := sh.entries[key]
 		var ks KeyScore
+		found := false
 		if e != nil {
 			e.decayTo(now, s.cfg.HalfLife)
-			ks = KeyScore{Key: c.key, Score: e.score(), Mass: e.mass()}
+			ks = KeyScore{Key: key.String(), Score: e.score(), Mass: e.mass()}
+			found = true
 		}
 		sh.mu.Unlock()
-		if ks.Key == "" {
+		if !found {
 			continue
 		}
 		v.Keys = append(v.Keys, ks)
 		v.Mass += ks.Mass
-		acc += c.weight * ks.Score
-		wsum += c.weight
+		acc += weight * ks.Score
+		wsum += weight
 	}
 	if wsum > 0 {
 		v.Score = acc / wsum
@@ -449,10 +499,8 @@ func (s *Store) Stats() Stats {
 		st.Entries += len(sh.entries)
 		sh.mu.Unlock()
 	}
-	s.mu.Lock()
-	st.Records, st.Lookups = s.records, s.lookups
-	st.DroppedWrites, st.FailedLookups = s.droppedWrites, s.failedLookups
-	s.mu.Unlock()
+	st.Records, st.Lookups = s.records.Load(), s.lookups.Load()
+	st.DroppedWrites, st.FailedLookups = s.droppedWrites.Load(), s.failedLookups.Load()
 	return st
 }
 
@@ -475,11 +523,11 @@ func (s *Store) TopSenders(band Band, k int) []EntrySummary {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		for key, e := range sh.entries {
-			if len(key) < len(addrPrefix) || key[:len(addrPrefix)] != addrPrefix {
+			if key.kind != 'a' {
 				continue
 			}
 			e.decayTo(now, s.cfg.HalfLife)
-			sum := EntrySummary{Key: key[len(addrPrefix):], Score: e.score(), Mass: e.mass()}
+			sum := EntrySummary{Key: key.local + "@" + key.name, Score: e.score(), Mass: e.mass()}
 			switch {
 			case sum.Mass < s.cfg.MinObservations:
 				sum.Band = Neutral
@@ -524,7 +572,7 @@ func (s *Store) Export() []ExportedEntry {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		for key, e := range sh.entries {
-			out = append(out, ExportedEntry{Key: key, Counts: e.counts, Last: e.last})
+			out = append(out, ExportedEntry{Key: key.String(), Counts: e.counts, Last: e.last})
 		}
 		sh.mu.Unlock()
 	}
@@ -537,9 +585,13 @@ func (s *Store) Export() []ExportedEntry {
 // exported scores exactly.
 func (s *Store) Import(entries []ExportedEntry) {
 	for _, ee := range entries {
-		sh := s.shardFor(ee.Key)
+		key, ok := parseRepKey(ee.Key)
+		if !ok {
+			continue
+		}
+		sh := s.shardFor(key)
 		sh.mu.Lock()
-		sh.entries[ee.Key] = &entry{counts: ee.Counts, last: ee.Last}
+		sh.entries[key] = &entry{counts: ee.Counts, last: ee.Last}
 		sh.mu.Unlock()
 	}
 }

@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// jsonEncode renders r exactly as the old json.Encoder-based Writer did
+// (minus the trailing newline): the reference AppendJSON must match
+// byte-for-byte.
+func jsonEncode(t *testing.T, r Record) []byte {
+	t.Helper()
+	b, err := json.Marshal(&r)
+	if err != nil {
+		t.Fatalf("json.Marshal: %v", err)
+	}
+	return b
+}
+
+func checkSame(t *testing.T, r Record) {
+	t.Helper()
+	want := jsonEncode(t, r)
+	got := r.AppendJSON(nil)
+	if !bytes.Equal(got, want) {
+		t.Errorf("AppendJSON mismatch:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestAppendJSONMatchesEncodingJSON(t *testing.T) {
+	base := time.Date(2010, 7, 1, 9, 30, 0, 0, time.UTC)
+	cases := []Record{
+		{At: base, Company: "scn-1", MsgID: "scn-1-000001", From: "a@b.example",
+			Rcpt: "u@scn-1.example", Subject: "hello there friend", Size: 1234,
+			ClientIP: "192.0.2.1", Class: "legit-new"},
+		// Null reverse-path: "<>" exercises the HTML escaping (\u003c\u003e).
+		{At: base, Company: "scn-2", MsgID: "scn-2-000002", From: "<>",
+			Rcpt: "u@scn-2.example", Size: 2200, ClientIP: "192.0.2.9", Class: "null-sender"},
+		// Empty omitempty fields: subject, client_ip, class all absent.
+		{At: base, Company: "c", MsgID: "id", From: "x@y.example", Rcpt: "z@w.example", Size: 0},
+		// Virus flag present.
+		{At: base, Company: "c", MsgID: "id", From: "x@y.example", Rcpt: "z@w.example",
+			Size: 9, Virus: true},
+		// Sub-second timestamp: RFC3339Nano trims trailing zeros.
+		{At: base.Add(123456000 * time.Nanosecond), Company: "c", MsgID: "id",
+			From: "x@y.example", Rcpt: "z@w.example", Size: 1},
+		{At: base.Add(1 * time.Nanosecond), Company: "c", MsgID: "id",
+			From: "x@y.example", Rcpt: "z@w.example", Size: 1},
+		// Strings needing escapes: quotes, backslash, control chars, HTML.
+		{At: base, Company: `a"b\c`, MsgID: "tab\tnl\ncr\rbell\x07", From: "<x&y>@z.example",
+			Rcpt: "r@d.example", Subject: "a<b>&c \x00 \x1f", Size: 5},
+		// Non-ASCII, U+2028/U+2029, and invalid UTF-8.
+		{At: base, Company: "héllo wörld", MsgID: "id\u2028sep\u2029par", From: "ok@d.example",
+			Rcpt: "r@d.example", Subject: "bad\xffutf8\xc3(", Size: 5},
+		// Negative size (never generated, but the encoder must not care).
+		{At: base, Company: "c", MsgID: "id", From: "f@d.example", Rcpt: "r@d.example", Size: -42},
+	}
+	for i, r := range cases {
+		rc := r
+		t.Run("", func(t *testing.T) {
+			checkSame(t, rc)
+			_ = i
+		})
+	}
+}
+
+// TestAppendJSONRandomized fuzzes record fields (printable and hostile
+// byte strings, random sub-second timestamps) against encoding/json.
+func TestAppendJSONRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randStr := func() string {
+		n := rng.Intn(20)
+		b := make([]byte, n)
+		for i := range b {
+			// Bias toward printable ASCII but include arbitrary bytes.
+			if rng.Intn(4) > 0 {
+				b[i] = byte(0x20 + rng.Intn(0x5f))
+			} else {
+				b[i] = byte(rng.Intn(256))
+			}
+		}
+		return string(b)
+	}
+	for i := 0; i < 500; i++ {
+		r := Record{
+			At:       time.Date(2010, 7, 1+rng.Intn(28), rng.Intn(24), rng.Intn(60), rng.Intn(60), rng.Intn(1e9), time.UTC),
+			Company:  randStr(),
+			MsgID:    randStr(),
+			From:     randStr(),
+			Rcpt:     randStr(),
+			Subject:  randStr(),
+			Size:     rng.Intn(100000),
+			ClientIP: randStr(),
+			Class:    randStr(),
+			Virus:    rng.Intn(2) == 0,
+		}
+		checkSame(t, r)
+	}
+}
+
+// TestWriterOutputMatchesOldEncoder writes records through the Writer
+// and checks each line equals the old json.Encoder rendering, and that
+// the Reader round-trips them.
+func TestWriterOutputMatchesOldEncoder(t *testing.T) {
+	recs := []Record{
+		{At: time.Date(2010, 7, 1, 0, 0, 0, 0, time.UTC), Company: "scn-1",
+			MsgID: "scn-1-000001", From: "<>", Rcpt: "u@scn-1.example", Size: 100, Class: "null-sender"},
+		{At: time.Date(2010, 7, 1, 1, 2, 3, 456789012, time.UTC), Company: "scn-2",
+			MsgID: "scn-2-000001", From: "p@q.example", Rcpt: "v@scn-2.example",
+			Subject: "a<subject>&more", Size: 4567, ClientIP: "100.64.0.1", Class: "spam", Virus: true},
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{Name: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		w.Write(r)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(buf.Bytes(), []byte("\n"))
+	if len(lines) != len(recs)+2 { // header + records + trailing empty
+		t.Fatalf("got %d lines, want %d", len(lines), len(recs)+2)
+	}
+	for i, r := range recs {
+		want := jsonEncode(t, r)
+		if !bytes.Equal(lines[i+1], want) {
+			t.Errorf("line %d:\n got %s\nwant %s", i+1, lines[i+1], want)
+		}
+	}
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("round-trip count %d, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("round-trip record %d:\n got %+v\nwant %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+// BenchmarkAppendJSON measures the hot encode path.
+func BenchmarkAppendJSON(b *testing.B) {
+	r := Record{
+		At: time.Date(2010, 7, 3, 14, 0, 0, 0, time.UTC), Company: "scn-7",
+		MsgID: "scn-7-003141", From: "fake1234@bystander03.example",
+		Rcpt: "user0042@scn-7.example", Subject: "cheap replica watches best deal today",
+		Size: 4200, ClientIP: "100.64.3.17", Class: "spam",
+	}
+	buf := make([]byte, 0, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = r.AppendJSON(buf[:0])
+	}
+}

@@ -14,7 +14,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 	"time"
+	"unicode/utf8"
 
 	"repro/internal/mail"
 )
@@ -68,6 +70,101 @@ func (r Record) ToMessage() *mail.Message {
 	return m
 }
 
+// AppendJSON appends r's JSON encoding to dst and returns the extended
+// slice. The output is byte-identical to what encoding/json produces for
+// the same Record (field order, omitempty handling, HTML-safe escaping,
+// RFC3339Nano timestamps) — traces written through it replay against
+// files written by older json.Encoder-based versions and vice versa —
+// but it allocates nothing beyond dst growth, where the reflective
+// encoder costs several allocations per record on the workload hot path.
+func (r Record) AppendJSON(dst []byte) []byte {
+	dst = append(dst, `{"at":"`...)
+	dst = r.At.AppendFormat(dst, time.RFC3339Nano)
+	dst = append(dst, `","company":`...)
+	dst = appendJSONString(dst, r.Company)
+	dst = append(dst, `,"id":`...)
+	dst = appendJSONString(dst, r.MsgID)
+	dst = append(dst, `,"from":`...)
+	dst = appendJSONString(dst, r.From)
+	dst = append(dst, `,"rcpt":`...)
+	dst = appendJSONString(dst, r.Rcpt)
+	if r.Subject != "" {
+		dst = append(dst, `,"subject":`...)
+		dst = appendJSONString(dst, r.Subject)
+	}
+	dst = append(dst, `,"size":`...)
+	dst = strconv.AppendInt(dst, int64(r.Size), 10)
+	if r.ClientIP != "" {
+		dst = append(dst, `,"client_ip":`...)
+		dst = appendJSONString(dst, r.ClientIP)
+	}
+	if r.Class != "" {
+		dst = append(dst, `,"class":`...)
+		dst = appendJSONString(dst, r.Class)
+	}
+	if r.Virus {
+		dst = append(dst, `,"virus":true`...)
+	}
+	return append(dst, '}')
+}
+
+const jsonHex = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string with exactly the escaping
+// encoding/json applies by default: control characters, quote and
+// backslash, the HTML-sensitive <, > and & as \u00xx, invalid UTF-8 as
+// �, and U+2028/U+2029 (legal JSON, illegal JavaScript) escaped.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				dst = append(dst, '\\', c)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', jsonHex[c>>4], jsonHex[c&0xf])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', jsonHex[c&0xf])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
 // FromMessage builds a Record from a message.
 func FromMessage(company string, m *mail.Message, class string) Record {
 	return Record{
@@ -85,8 +182,8 @@ func FromMessage(company string, m *mail.Message, class string) Record {
 
 // Writer streams a trace to an io.Writer.
 type Writer struct {
-	enc   *json.Encoder
 	bw    *bufio.Writer
+	buf   []byte // reusable per-record encode buffer
 	count int64
 	err   error
 }
@@ -95,19 +192,22 @@ type Writer struct {
 func NewWriter(w io.Writer, h Header) (*Writer, error) {
 	h.Version = FormatVersion
 	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	if err := enc.Encode(&h); err != nil {
+	if err := json.NewEncoder(bw).Encode(&h); err != nil {
 		return nil, fmt.Errorf("trace: header: %w", err)
 	}
-	return &Writer{enc: enc, bw: bw}, nil
+	return &Writer{bw: bw, buf: make([]byte, 0, 512)}, nil
 }
 
-// Write appends one record. Errors are sticky.
+// Write appends one record. Errors are sticky. Records are rendered by
+// Record.AppendJSON into one reused buffer, so the steady-state write
+// path allocates nothing.
 func (w *Writer) Write(r Record) {
 	if w.err != nil {
 		return
 	}
-	if err := w.enc.Encode(&r); err != nil {
+	w.buf = r.AppendJSON(w.buf[:0])
+	w.buf = append(w.buf, '\n')
+	if _, err := w.bw.Write(w.buf); err != nil {
 		w.err = err
 		return
 	}

@@ -66,13 +66,17 @@ type Entry struct {
 
 // List is one user's whitelist (or blacklist). Not safe for concurrent
 // use on its own; Store serialises access.
+//
+// Entries are keyed by the canonical sender Address (see
+// mail.Address.Canonical), so membership checks on the dispatch hot
+// path need no key-string allocation.
 type List struct {
-	entries map[string]Entry // by Address.Key()
-	log     []Entry          // append-only change log (additions only)
+	entries map[mail.Address]Entry // by canonical sender address
+	log     []Entry                // append-only change log (additions only)
 }
 
 func newList() *List {
-	return &List{entries: make(map[string]Entry)}
+	return &List{entries: make(map[mail.Address]Entry)}
 }
 
 // Store holds the white- and blacklists of every user of one company's
@@ -81,24 +85,25 @@ type Store struct {
 	clk clock.Clock
 
 	mu    sync.RWMutex
-	white map[string]*List // by user address key
-	black map[string]*List
+	white map[mail.Address]*List // by canonical user address
+	black map[mail.Address]*List
 }
 
 // NewStore returns an empty store using clk for entry timestamps.
 func NewStore(clk clock.Clock) *Store {
 	return &Store{
 		clk:   clk,
-		white: make(map[string]*List),
-		black: make(map[string]*List),
+		white: make(map[mail.Address]*List),
+		black: make(map[mail.Address]*List),
 	}
 }
 
-func (s *Store) list(m map[string]*List, user mail.Address) *List {
-	l := m[user.Key()]
+func (s *Store) list(m map[mail.Address]*List, user mail.Address) *List {
+	uk := user.Canonical()
+	l := m[uk]
 	if l == nil {
 		l = newList()
-		m[user.Key()] = l
+		m[uk] = l
 	}
 	return l
 }
@@ -112,11 +117,12 @@ func (s *Store) AddWhite(user, sender mail.Address, src Source) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	l := s.list(s.white, user)
-	if _, ok := l.entries[sender.Key()]; ok {
+	sk := sender.Canonical()
+	if _, ok := l.entries[sk]; ok {
 		return false
 	}
 	e := Entry{Addr: sender, Source: src, Added: s.clk.Now()}
-	l.entries[sender.Key()] = e
+	l.entries[sk] = e
 	l.log = append(l.log, e)
 	return true
 }
@@ -126,11 +132,12 @@ func (s *Store) AddBlack(user, sender mail.Address) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	l := s.list(s.black, user)
-	if _, ok := l.entries[sender.Key()]; ok {
+	sk := sender.Canonical()
+	if _, ok := l.entries[sk]; ok {
 		return false
 	}
 	e := Entry{Addr: sender, Source: SourceManual, Added: s.clk.Now()}
-	l.entries[sender.Key()] = e
+	l.entries[sk] = e
 	l.log = append(l.log, e)
 	return true
 }
@@ -140,14 +147,15 @@ func (s *Store) AddBlack(user, sender mail.Address) bool {
 func (s *Store) RemoveWhite(user, sender mail.Address) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	l := s.white[user.Key()]
+	l := s.white[user.Canonical()]
 	if l == nil {
 		return false
 	}
-	if _, ok := l.entries[sender.Key()]; !ok {
+	sk := sender.Canonical()
+	if _, ok := l.entries[sk]; !ok {
 		return false
 	}
-	delete(l.entries, sender.Key())
+	delete(l.entries, sk)
 	return true
 }
 
@@ -155,11 +163,11 @@ func (s *Store) RemoveWhite(user, sender mail.Address) bool {
 func (s *Store) IsWhite(user, sender mail.Address) bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	l := s.white[user.Key()]
+	l := s.white[user.Canonical()]
 	if l == nil {
 		return false
 	}
-	_, ok := l.entries[sender.Key()]
+	_, ok := l.entries[sender.Canonical()]
 	return ok
 }
 
@@ -167,11 +175,11 @@ func (s *Store) IsWhite(user, sender mail.Address) bool {
 func (s *Store) IsBlack(user, sender mail.Address) bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	l := s.black[user.Key()]
+	l := s.black[user.Canonical()]
 	if l == nil {
 		return false
 	}
-	_, ok := l.entries[sender.Key()]
+	_, ok := l.entries[sender.Canonical()]
 	return ok
 }
 
@@ -179,7 +187,7 @@ func (s *Store) IsBlack(user, sender mail.Address) bool {
 func (s *Store) WhiteSize(user mail.Address) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	l := s.white[user.Key()]
+	l := s.white[user.Canonical()]
 	if l == nil {
 		return 0
 	}
@@ -193,7 +201,7 @@ func (s *Store) WhiteSize(user mail.Address) int {
 func (s *Store) AdditionsBetween(user mail.Address, from, to time.Time, sources ...Source) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	l := s.white[user.Key()]
+	l := s.white[user.Canonical()]
 	if l == nil {
 		return 0
 	}
@@ -223,10 +231,10 @@ func (s *Store) ModifiedUsers(from, to time.Time) []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var out []string
-	for key, l := range s.white {
+	for user, l := range s.white {
 		for _, e := range l.log {
 			if e.Source != SourceSeed && !e.Added.Before(from) && e.Added.Before(to) {
-				out = append(out, key)
+				out = append(out, user.Key())
 				break
 			}
 		}
@@ -240,8 +248,8 @@ func (s *Store) Users() []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make([]string, 0, len(s.white))
-	for key := range s.white {
-		out = append(out, key)
+	for user := range s.white {
+		out = append(out, user.Key())
 	}
 	sort.Strings(out)
 	return out
@@ -260,18 +268,18 @@ type ExportedList struct {
 func (s *Store) Export() []ExportedList {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	users := make(map[string]bool)
+	users := make(map[mail.Address]bool)
 	for u := range s.white {
 		users[u] = true
 	}
 	for u := range s.black {
 		users[u] = true
 	}
-	keys := make([]string, 0, len(users))
+	keys := make([]mail.Address, 0, len(users))
 	for u := range users {
 		keys = append(keys, u)
 	}
-	sort.Strings(keys)
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Key() < keys[j].Key() })
 
 	dump := func(l *List) []Entry {
 		if l == nil {
@@ -292,7 +300,7 @@ func (s *Store) Export() []ExportedList {
 	out := make([]ExportedList, 0, len(keys))
 	for _, u := range keys {
 		out = append(out, ExportedList{
-			User:  u,
+			User:  u.Key(),
 			White: dump(s.white[u]),
 			Black: dump(s.black[u]),
 		})
@@ -311,18 +319,20 @@ func (s *Store) Import(lists []ExportedList) error {
 		s.mu.Lock()
 		wl := s.list(s.white, user)
 		for _, e := range l.White {
-			if _, ok := wl.entries[e.Addr.Key()]; ok {
+			sk := e.Addr.Canonical()
+			if _, ok := wl.entries[sk]; ok {
 				continue
 			}
-			wl.entries[e.Addr.Key()] = e
+			wl.entries[sk] = e
 			wl.log = append(wl.log, e)
 		}
 		bl := s.list(s.black, user)
 		for _, e := range l.Black {
-			if _, ok := bl.entries[e.Addr.Key()]; ok {
+			sk := e.Addr.Canonical()
+			if _, ok := bl.entries[sk]; ok {
 				continue
 			}
-			bl.entries[e.Addr.Key()] = e
+			bl.entries[sk] = e
 			bl.log = append(bl.log, e)
 		}
 		s.mu.Unlock()

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
-	"sync"
 
 	"repro/internal/mail"
 )
@@ -161,20 +160,6 @@ type Campaign struct {
 	// engine deduplicates — the reason a spam cluster of N messages
 	// yields far fewer than N challenges.
 	SpoofPool []mail.Address
-	// targets memoises the subset of each company's users this campaign
-	// mails (spammers reuse the same harvested recipient lists).
-	targets map[string][]mail.Address
-	// covers memoises which companies this campaign's harvested list
-	// includes at all. Coverage is random per (campaign, company): a
-	// company's trap exposure therefore depends on which poisoned lists
-	// happen to include it, not on its size — the §5.1 non-correlation.
-	covers map[string]bool
-	// mu guards the memo maps: under parallel execution several lanes
-	// may first touch the same campaign concurrently. The memoised
-	// values themselves come from RNG streams derived from
-	// (seed, campaign, company), so they are identical no matter which
-	// lane computes them first.
-	mu sync.Mutex
 }
 
 // ActiveOn reports whether the campaign sends on the given day.

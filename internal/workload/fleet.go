@@ -196,13 +196,13 @@ type Fleet struct {
 
 	rng        *rand.Rand
 	profiles   map[string]CompanyProfile
-	users      map[string][]mail.Address    // company -> protected users
-	seededWL   map[string][]mail.Address    // user key -> seeded contacts
-	seededBL   map[string][]mail.Address    // user key -> blacklisted senders
-	rejectedBy map[string]mail.Address      // company -> its rejected sender
-	activity   map[string]float64           // user key -> outbound-activity multiplier
-	greylists  map[string]*greylist.Store   // company -> greylist (when enabled)
-	reputation map[string]*reputation.Store // company -> reputation store (when enabled)
+	users      map[string][]mail.Address          // company -> protected users
+	seededWL   map[mail.Address][]mail.Address    // canonical user -> seeded contacts
+	seededBL   map[mail.Address][]mail.Address    // canonical user -> blacklisted senders
+	rejectedBy map[string]mail.Address            // company -> its rejected sender
+	activity   map[mail.Address]float64           // canonical user -> outbound-activity multiplier
+	greylists  map[string]*greylist.Store         // company -> greylist (when enabled)
+	reputation map[string]*reputation.Store       // company -> reputation store (when enabled)
 
 	legitPool     []mail.Address
 	innocents     []mail.Address
@@ -240,10 +240,10 @@ func NewFleet(cfg Config) *Fleet {
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		profiles:    make(map[string]CompanyProfile),
 		users:       make(map[string][]mail.Address),
-		seededWL:    make(map[string][]mail.Address),
-		seededBL:    make(map[string][]mail.Address),
+		seededWL:    make(map[mail.Address][]mail.Address),
+		seededBL:    make(map[mail.Address][]mail.Address),
 		rejectedBy:  make(map[string]mail.Address),
-		activity:    make(map[string]float64),
+		activity:    make(map[mail.Address]float64),
 		greylists:   make(map[string]*greylist.Store),
 		reputation:  make(map[string]*reputation.Store),
 		truth:       make(map[string]Class),
@@ -487,8 +487,6 @@ func (f *Fleet) buildCampaigns() {
 			StartDay:  start,
 			EndDay:    end,
 			Weight:    0.2 + f.rng.Float64()*1.8,
-			targets:   make(map[string][]mail.Address),
-			covers:    make(map[string]bool),
 		}
 		if k < 2 || f.rng.Float64() < 0.10 {
 			c.TrapShare = 0.02 + f.rng.Float64()*0.03
@@ -524,35 +522,11 @@ func (f *Fleet) drawSpoof(trapShare float64) mail.Address {
 	}
 }
 
-// campaignTargets returns (memoised) the subset of a company's users a
-// campaign mails: spammers recycle harvested lists, so the same users
-// get hit repeatedly. The selection comes from a stream derived from
-// (seed, campaign, company) so it is the same no matter which lane — or
-// how many lanes — first ask for it.
-func (f *Fleet) campaignTargets(c *Campaign, ln *companyLane) []mail.Address {
-	company := ln.comp.Name
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if ts, ok := c.targets[company]; ok {
-		return ts
-	}
-	users := f.users[company]
-	n := min(max(len(users)*2/5, 5), len(users))
-	rng := rand.New(rand.NewSource(deriveSeed(f.Cfg.Seed, saltCampaignTargets, int64(c.ID), int64(ln.idx))))
-	perm := rng.Perm(len(users))
-	ts := make([]mail.Address, n)
-	for i := 0; i < n; i++ {
-		ts[i] = users[perm[i]]
-	}
-	c.targets[company] = ts
-	return ts
-}
-
 // companyLane is the per-company execution context: its own virtual
-// clock, scheduler, RNG stream, message-ID source and sink buffers. A
-// lane is advanced by exactly one worker per epoch, so everything here
-// is single-threaded; cross-lane state (truth, classCounts, grayLog,
-// digests) stays behind f.mu.
+// clock, scheduler, RNG stream, message-ID source, sink buffers and
+// ground-truth staging maps. A lane is advanced by exactly one worker
+// per epoch, so everything here is single-threaded; lane-local state is
+// merged into the shared maps behind f.mu only at epoch barriers.
 type companyLane struct {
 	idx     int // profile index: the stable salt for derived RNG streams
 	comp    *simnet.Company
@@ -567,6 +541,30 @@ type companyLane struct {
 	// streams the measurement pipeline sees are worker-count-invariant.
 	logBuf   []maillog.Event
 	traceBuf []trace.Record
+
+	// Ground-truth staging: written lock-free on the lane goroutine,
+	// merged into Fleet.truth/grayLog/classCounts behind f.mu at each
+	// epoch barrier (mergeLaneState). The injection hot path therefore
+	// never touches the shared mutex.
+	truth       map[string]Class
+	grayLog     map[string]GrayEntry
+	classCounts [ClassSpam + 1]int64
+
+	// covering is the precomputed subset of spam campaigns whose
+	// harvested lists include this company, in f.spamCamps order. It is
+	// drawn from the same (seed, campaign, company) streams the lazy
+	// memo used, so membership is identical — but the per-message pick
+	// loop walks a lane-local slice instead of taking a per-campaign
+	// mutex for every campaign.
+	covering []*Campaign
+	// targets memoises this company's harvested recipient list per
+	// campaign ID. Deterministic per (seed, campaign, company), so each
+	// lane computes its own copy without cross-lane sharing.
+	targets map[int][]mail.Address
+
+	active  []*Campaign // pickSpamCampaign scratch, reused per call
+	names   interner    // hot-string interner ("mail.<domain>" …)
+	scratch []byte      // byte scratch for name minting and intern probes
 }
 
 func (f *Fleet) buildCompanies() {
@@ -588,6 +586,10 @@ func (f *Fleet) buildCompanies() {
 			clk:     clock.NewSim(FleetStart),
 			rng:     rand.New(rand.NewSource(deriveSeed(f.Cfg.Seed, saltLaneRNG, int64(i)))),
 			ids:     mail.NewIDSource(p.Name),
+			truth:   make(map[string]Class),
+			grayLog: make(map[string]GrayEntry),
+			targets: make(map[int][]mail.Address),
+			names:   newInterner(),
 		}
 		ln.sched = clock.NewScheduler(ln.clk)
 
@@ -677,7 +679,7 @@ func (f *Fleet) buildCompanies() {
 			// produces the paper's Figure 9 churn distribution: a
 			// dominant low-churn mode with a long tail.
 			au := f.rng.Float64()
-			f.activity[addr.Key()] = au * au * 3
+			f.activity[addr.Canonical()] = au * au * 3
 			nSeed := f.Cfg.Profiles[i].SeedWhitelist
 			seeds := make([]mail.Address, 0, nSeed)
 			for s := 0; s < nSeed; s++ {
@@ -686,7 +688,7 @@ func (f *Fleet) buildCompanies() {
 					seeds = append(seeds, contact)
 				}
 			}
-			f.seededWL[addr.Key()] = seeds
+			f.seededWL[addr.Canonical()] = seeds
 			bl := make([]mail.Address, 0, 2)
 			for s := 0; s < 2; s++ {
 				bad := f.innocents[f.rng.Intn(len(f.innocents))]
@@ -694,7 +696,7 @@ func (f *Fleet) buildCompanies() {
 					bl = append(bl, bad)
 				}
 			}
-			f.seededBL[addr.Key()] = bl
+			f.seededBL[addr.Canonical()] = bl
 		}
 		f.users[p.Name] = users
 
@@ -722,6 +724,21 @@ func (f *Fleet) buildCompanies() {
 	sort.Slice(f.lanes, func(i, j int) bool {
 		return f.lanes[i].comp.Name < f.lanes[j].comp.Name
 	})
+
+	// Precompute each lane's covering-campaign list. Coverage is random
+	// per (campaign, company) with probability 0.3, drawn from a stream
+	// derived from (seed, campaign, company) — the §5.1 decorrelation of
+	// blacklisting risk from company size. Computing it eagerly here
+	// (48 campaigns × lanes is trivial) removes a per-campaign mutex
+	// acquisition from every generated spam message.
+	for _, ln := range f.lanes {
+		for _, c := range f.spamCamps {
+			rng := rand.New(rand.NewSource(deriveSeed(f.Cfg.Seed, saltCampaignCovers, int64(c.ID), int64(ln.idx))))
+			if rng.Float64() < 0.3 {
+				ln.covering = append(ln.covering, c)
+			}
+		}
+	}
 
 	// The outbound-IP set the §5.1 checker polls: companies are fixed
 	// after build, so compute it once here instead of every simulated

@@ -1,0 +1,23 @@
+package workload
+
+// interner deduplicates hot concatenated strings. Each lane owns one, so
+// no locking: the generator builds the same handful of strings (resolver
+// hostnames like "mail.partner03.example") millions of times per run, and
+// interning turns every build after the first into a map hit.
+type interner struct{ m map[string]string }
+
+func newInterner() interner { return interner{m: make(map[string]string)} }
+
+// concat returns the interned form of prefix+s. The candidate is built in
+// *buf so a cache hit allocates nothing — Go's map lookup on
+// string(byteSlice) does not copy the key.
+func (in interner) concat(buf *[]byte, prefix, s string) string {
+	b := append(append((*buf)[:0], prefix...), s...)
+	*buf = b
+	if v, ok := in.m[string(b)]; ok {
+		return v
+	}
+	v := string(b)
+	in.m[v] = v
+	return v
+}

@@ -1,10 +1,10 @@
 package workload
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -134,7 +134,48 @@ func (f *Fleet) runEpoch(workers int, epochEnd time.Time) {
 			f.Checker.Poll(f.allOutIPs())
 		}
 	}
+	f.mergeLaneState()
 	f.flushSinks()
+}
+
+// mergeLaneState folds every lane's staged ground-truth writes (truth
+// labels, gray-spool context, class counts) into the shared maps under
+// one f.mu acquisition per barrier. During the epoch the lanes write
+// these lock-free into lane-local staging, so the per-message hot path
+// never contends on f.mu; readers of the public accessors see state
+// complete up to the last barrier.
+func (f *Fleet) mergeLaneState() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, ln := range f.lanes {
+		for id, c := range ln.truth {
+			f.truth[id] = c
+		}
+		clear(ln.truth)
+		for id, g := range ln.grayLog {
+			f.grayLog[id] = g
+		}
+		clear(ln.grayLog)
+		for cl, n := range ln.classCounts {
+			if n != 0 {
+				f.classCounts[Class(cl)] += n
+				ln.classCounts[cl] = 0
+			}
+		}
+	}
+}
+
+// laneTruth looks up a message's ground-truth class: the lane's staging
+// map first (entries from the current epoch, lock-free), then the shared
+// merged map.
+func (f *Fleet) laneTruth(ln *companyLane, id string) (Class, bool) {
+	if c, ok := ln.truth[id]; ok {
+		return c, true
+	}
+	f.mu.Lock()
+	c, ok := f.truth[id]
+	f.mu.Unlock()
+	return c, ok
 }
 
 // flushSinks drains every lane's buffered maillog/trace events to the
@@ -220,14 +261,13 @@ func drawClass(rng *rand.Rand, m Mix) Class {
 
 // injectOne generates and delivers one message to a company's MTA-IN.
 // It runs on the lane's goroutine: all randomness comes from the lane
-// RNG, and shared-map writes go through f.mu.
+// RNG, and ground-truth writes stage in lane-local maps merged at the
+// next barrier (mergeLaneState) — no shared lock per message.
 func (f *Fleet) injectOne(ln *companyLane) {
 	comp, p := ln.comp, ln.profile
 	class := drawClass(ln.rng, p.Mix)
 	msg := f.buildMessage(ln, p, class)
-	f.mu.Lock()
-	f.classCounts[class]++
-	f.mu.Unlock()
+	ln.classCounts[class]++
 
 	if f.Cfg.TraceSink != nil {
 		ln.traceBuf = append(ln.traceBuf, trace.FromMessage(comp.Name, msg, class.String()))
@@ -251,7 +291,7 @@ func (f *Fleet) injectOne(ln *companyLane) {
 			ln.sched.After(delay, func() {
 				msg.Received = ln.clk.Now()
 				if gl.Check(msg.ClientIP, msg.EnvelopeFrom, msg.Rcpt) == greylist.Accept {
-					f.deliverToEngine(ln, msg)
+					f.deliverToEngine(ln, msg, class)
 				} else {
 					putMsg(msg)
 				}
@@ -259,30 +299,29 @@ func (f *Fleet) injectOne(ln *companyLane) {
 			return
 		}
 	}
-	f.deliverToEngine(ln, msg)
+	f.deliverToEngine(ln, msg, class)
 }
 
 // deliverToEngine hands an (un-greylisted or retried) message to the
 // engine and captures gray-spool context.
-func (f *Fleet) deliverToEngine(ln *companyLane, msg *mail.Message) {
+func (f *Fleet) deliverToEngine(ln *companyLane, msg *mail.Message, class Class) {
 	verdict := ln.comp.Engine.Receive(msg)
 	if verdict != 0 { // core.Accepted == 0
 		// MTA rejections retain nothing: recycle the message.
 		putMsg(msg)
 		return
 	}
-	// Capture gray-spool context for the offline SPF what-if (E14).
-	f.mu.Lock()
-	switch f.truth[msg.ID] {
+	// Capture gray-spool context for the offline SPF what-if (E14),
+	// staged lane-locally and merged at the barrier.
+	switch class {
 	case ClassLegitNew, ClassNewsletter, ClassSpam, ClassRelayAttempt, ClassNullSender:
-		f.grayLog[msg.ID] = GrayEntry{
+		ln.grayLog[msg.ID] = GrayEntry{
 			MsgID:    msg.ID,
 			From:     msg.EnvelopeFrom,
 			ClientIP: msg.ClientIP,
 			Subject:  msg.Subject,
 		}
 	}
-	f.mu.Unlock()
 }
 
 // buildMessage constructs the mail.Message for a class, drawing from the
@@ -299,16 +338,15 @@ func (f *Fleet) buildMessage(ln *companyLane, p CompanyProfile, class Class) *ma
 	// the rest keeps long runs lean.
 	switch class {
 	case ClassLegitNew, ClassNewsletter, ClassSpam, ClassNullSender, ClassRelayAttempt:
-		f.mu.Lock()
-		f.truth[m.ID] = class
-		f.mu.Unlock()
+		ln.truth[m.ID] = class
 	}
 
 	users := f.users[comp.Name]
 	randUser := func() mail.Address { return users[rng.Intn(len(users))] }
 	randBot := func() botIP { return f.botnet[rng.Intn(len(f.botnet))] }
 	legitIPFor := func(domain string) string {
-		if ips, err := f.resolve.LookupA("mail." + domain); err == nil && len(ips) > 0 {
+		host := ln.names.concat(&ln.scratch, "mail.", domain)
+		if ips, err := f.resolve.LookupA(host); err == nil && len(ips) > 0 {
 			return ips[0]
 		}
 		return "192.0.2.250"
@@ -324,7 +362,7 @@ func (f *Fleet) buildMessage(ln *companyLane, p CompanyProfile, class Class) *ma
 
 	case ClassUnresolvable:
 		dom := f.unresolvable[rng.Intn(len(f.unresolvable))]
-		m.EnvelopeFrom = mail.Address{Local: fmt.Sprintf("x%d", rng.Intn(10000)), Domain: dom}
+		m.EnvelopeFrom = mail.Address{Local: ln.numbered("x", rng.Intn(10000)), Domain: dom}
 		m.Rcpt = randUser()
 		m.Subject = makeSubject(rng, "")
 		m.Size = 1500 + rng.Intn(4000)
@@ -336,8 +374,8 @@ func (f *Fleet) buildMessage(ln *companyLane, p CompanyProfile, class Class) *ma
 			// Open relays accept mail for their relayed domains,
 			// addressed to arbitrary mailboxes.
 			m.Rcpt = mail.Address{
-				Local:  fmt.Sprintf("box%d", rng.Intn(5000)),
-				Domain: "relay-" + p.Domain,
+				Local:  ln.numbered("box", rng.Intn(5000)),
+				Domain: ln.names.concat(&ln.scratch, "relay-", p.Domain),
 			}
 		} else {
 			m.Rcpt = mail.Address{Local: "info", Domain: f.foreignDomain}
@@ -357,7 +395,7 @@ func (f *Fleet) buildMessage(ln *companyLane, p CompanyProfile, class Class) *ma
 	case ClassUnknownRecipient:
 		m.EnvelopeFrom = f.innocents[rng.Intn(len(f.innocents))]
 		m.Rcpt = mail.Address{
-			Local:  fmt.Sprintf("harvest%d", rng.Intn(1000000)),
+			Local:  ln.numbered("harvest", rng.Intn(1000000)),
 			Domain: p.Domain,
 		}
 		camp := f.pickSpamCampaign(ln)
@@ -368,7 +406,7 @@ func (f *Fleet) buildMessage(ln *companyLane, p CompanyProfile, class Class) *ma
 	case ClassWhite:
 		u := randUser()
 		m.Rcpt = u
-		seeds := f.seededWL[u.Key()]
+		seeds := f.seededWL[u.Canonical()]
 		if len(seeds) == 0 {
 			m.EnvelopeFrom = f.legitPool[rng.Intn(len(f.legitPool))]
 		} else {
@@ -381,7 +419,7 @@ func (f *Fleet) buildMessage(ln *companyLane, p CompanyProfile, class Class) *ma
 	case ClassBlack:
 		u := randUser()
 		m.Rcpt = u
-		bl := f.seededBL[u.Key()]
+		bl := f.seededBL[u.Canonical()]
 		if len(bl) == 0 {
 			m.EnvelopeFrom = f.innocents[rng.Intn(len(f.innocents))]
 		} else {
@@ -415,7 +453,7 @@ func (f *Fleet) buildMessage(ln *companyLane, p CompanyProfile, class Class) *ma
 
 	default: // ClassSpam
 		camp := f.pickSpamCampaign(ln)
-		targets := f.campaignTargets(camp, ln)
+		targets := f.laneTargets(camp, ln)
 		m.Rcpt = targets[rng.Intn(len(targets))]
 		m.EnvelopeFrom = camp.SpoofPool[rng.Intn(len(camp.SpoofPool))]
 		m.Subject = camp.Subject
@@ -435,26 +473,25 @@ func (f *Fleet) buildMessage(ln *companyLane, p CompanyProfile, class Class) *ma
 
 // pickSpamCampaign selects an active campaign covering the company, by
 // weight; it degrades to any covering campaign, then to any campaign
-// (spam never stops entirely).
+// (spam never stops entirely). The covering list is precomputed per
+// lane (buildCompanies) and the active scratch slice is reused, so a
+// pick costs no locks and no steady-state allocations.
 func (f *Fleet) pickSpamCampaign(ln *companyLane) *Campaign {
 	// f.day is written only between days, while every lane is parked at
 	// the final barrier, so the unlocked read is safe.
 	dayIdx := f.day
-	var active, covering []*Campaign
+	active := ln.active[:0]
 	var total float64
-	for _, c := range f.spamCamps {
-		if !f.campaignCovers(c, ln) {
-			continue
-		}
-		covering = append(covering, c)
+	for _, c := range ln.covering {
 		if c.ActiveOn(dayIdx) {
 			active = append(active, c)
 			total += c.Weight
 		}
 	}
+	ln.active = active
 	if len(active) == 0 {
-		if len(covering) > 0 {
-			return covering[ln.rng.Intn(len(covering))]
+		if len(ln.covering) > 0 {
+			return ln.covering[ln.rng.Intn(len(ln.covering))]
 		}
 		return f.spamCamps[ln.rng.Intn(len(f.spamCamps))]
 	}
@@ -468,21 +505,34 @@ func (f *Fleet) pickSpamCampaign(ln *companyLane) *Campaign {
 	return active[len(active)-1]
 }
 
-// campaignCovers memoises whether a campaign's harvested list includes
-// the company (probability 0.3 per pair). The draw comes from a stream
-// derived from (seed, campaign, company) so coverage is identical
-// whichever lane computes it first.
-func (f *Fleet) campaignCovers(c *Campaign, ln *companyLane) bool {
-	company := ln.comp.Name
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if v, ok := c.covers[company]; ok {
-		return v
+// laneTargets returns (memoised per lane) the subset of the company's
+// users a campaign mails: spammers recycle harvested lists, so the same
+// users get hit repeatedly. The selection comes from a stream derived
+// from (seed, campaign, company) so it is identical no matter which
+// lane — or how many lanes — computes it; each lane therefore keeps its
+// own copy without cross-lane locking.
+func (f *Fleet) laneTargets(c *Campaign, ln *companyLane) []mail.Address {
+	if ts, ok := ln.targets[c.ID]; ok {
+		return ts
 	}
-	rng := rand.New(rand.NewSource(deriveSeed(f.Cfg.Seed, saltCampaignCovers, int64(c.ID), int64(ln.idx))))
-	v := rng.Float64() < 0.3
-	c.covers[company] = v
-	return v
+	users := f.users[ln.comp.Name]
+	n := min(max(len(users)*2/5, 5), len(users))
+	rng := rand.New(rand.NewSource(deriveSeed(f.Cfg.Seed, saltCampaignTargets, int64(c.ID), int64(ln.idx))))
+	perm := rng.Perm(len(users))
+	ts := make([]mail.Address, n)
+	for i := 0; i < n; i++ {
+		ts[i] = users[perm[i]]
+	}
+	ln.targets[c.ID] = ts
+	return ts
+}
+
+// numbered renders prefix+decimal(n) through the lane scratch buffer, so
+// minting a synthetic local part costs exactly the one unavoidable
+// allocation (the returned string) instead of fmt.Sprintf's several.
+func (ln *companyLane) numbered(prefix string, n int) string {
+	ln.scratch = strconv.AppendInt(append(ln.scratch[:0], prefix...), int64(n), 10)
+	return string(ln.scratch)
 }
 
 // dailyChores records digests, simulates digest weeding and outbound
@@ -503,7 +553,7 @@ func (f *Fleet) dailyChores(ln *companyLane, dayIdx int) {
 
 		// Outbound mail: implicit whitelisting plus the §5.1
 		// user-mail exposure channel. Rates are per-user skewed.
-		nOut := poisson(ln.rng, p.OutboundPerUserDay*f.activity[u.Key()])
+		nOut := poisson(ln.rng, p.OutboundPerUserDay*f.activity[u.Canonical()])
 		for i := 0; i < nOut; i++ {
 			f.sendOutbound(ln, u)
 		}
@@ -515,9 +565,7 @@ func (f *Fleet) dailyChores(ln *companyLane, dayIdx int) {
 // wanted mail, delete junk, leave the rest.
 func (f *Fleet) weedDigest(ln *companyLane, u mail.Address, pending []digest.Item) {
 	for _, item := range pending {
-		f.mu.Lock()
-		class := f.truth[item.MsgID]
-		f.mu.Unlock()
+		class, _ := f.laneTruth(ln, item.MsgID)
 		authorize := class.Wanted() && ln.rng.Float64() < f.Cfg.DigestAuthorizeProb
 		del := !class.Wanted() && ln.rng.Float64() < f.Cfg.DigestDeleteProb
 		switch {
@@ -533,7 +581,7 @@ func (f *Fleet) weedDigest(ln *companyLane, u mail.Address, pending []digest.Ite
 // contact, 20% to a brand-new address (which then gets auto-whitelisted).
 func (f *Fleet) sendOutbound(ln *companyLane, u mail.Address) {
 	var to mail.Address
-	seeds := f.seededWL[u.Key()]
+	seeds := f.seededWL[u.Canonical()]
 	if len(seeds) > 0 && ln.rng.Float64() < 0.8 {
 		to = seeds[ln.rng.Intn(len(seeds))]
 	} else {
