@@ -41,6 +41,7 @@ import (
 	"repro/internal/mail"
 	"repro/internal/mailbox"
 	"repro/internal/outbound"
+	"repro/internal/overload"
 	"repro/internal/rbl"
 	"repro/internal/reputation"
 	"repro/internal/resilience"
@@ -62,6 +63,8 @@ func main() {
 		smarthost = flag.String("smarthost", "", "next-hop SMTP server for outgoing challenges (host:port); empty = log only")
 		faultPlan = flag.String("fault-plan", "", "JSON fault plan file; injects faults into DNS, the blocklist, the scanner, the smarthost path and state saves")
 		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault injector's RNG (with -fault-plan)")
+		maxQueued = flag.Int("max-outbound", 1000, "bound on in-flight outbound challenges; overflow defers (0 = unbounded)")
+		drainWait = flag.Duration("drain-timeout", 10*time.Second, "how long SIGTERM waits for in-flight SMTP sessions before force-closing")
 	)
 	flag.Parse()
 
@@ -149,6 +152,7 @@ func main() {
 			Dial:       func() (*smtp.Client, error) { return smtp.Dial(*smarthost, 10*time.Second) },
 			HeloDomain: *domain,
 			Injector:   inj,
+			MaxQueued:  *maxQueued,
 		})
 		base := sendChallenge
 		sendChallenge = func(ch core.OutboundChallenge) {
@@ -158,6 +162,13 @@ func main() {
 	}
 	eng := core.New(cfg, clk, resolver, chain, wl, sendChallenge)
 	eng.SetReputation(rep)
+	// Admission control: the gateway consults ctl before accepting DATA
+	// (shed mail gets 451/421, never a silent drop), the engine feeds
+	// per-message service latency into the AIMD limiter, and probe-filter
+	// work is shed while the admission queue is pressured.
+	ctl := overload.New(overload.Config{Name: "crserver", Clock: clk})
+	eng.SetServiceObserver(ctl.Observe)
+	eng.SetPressure(ctl.Pressured)
 	inboxes := mailbox.NewStore()
 	eng.SetInboxSink(inboxes.Sink())
 	for _, u := range strings.Split(*users, ",") {
@@ -179,15 +190,17 @@ func main() {
 
 	// Challenge web server + quarantine digest UI + metrics.
 	go func() {
-		log.Printf("web server on %s (challenge pages, /digest/<user>, /mbox/<user>, /reputation, /metrics)", *httpAddr)
+		log.Printf("web server on %s (challenge pages, /digest/<user>, /mbox/<user>, /reputation, /overload, /metrics)", *httpAddr)
 		mux := http.NewServeMux()
 		mux.Handle("/challenge/", eng.Captcha().Handler())
 		ui := adminui.New(eng)
 		ui.SetResolverCaches(dnsCache, rblCache)
+		ui.SetOverload(ctl)
 		admin := ui.Handler()
 		mux.Handle("/digest/", admin)
 		mux.Handle("/metrics", admin)
 		mux.Handle("/reputation", admin)
+		mux.Handle("/overload", admin)
 		mux.HandleFunc("/mbox/", func(w http.ResponseWriter, r *http.Request) {
 			userRaw := strings.TrimPrefix(r.URL.Path, "/mbox/")
 			user, err := mail.ParseAddress(userRaw)
@@ -226,25 +239,66 @@ func main() {
 		}()
 	}
 
-	// Snapshot on SIGINT/SIGTERM before exiting.
-	if *statePath != "" {
-		sigc := make(chan os.Signal, 1)
-		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-		go func() {
-			<-sigc
-			saveState(saver, wl, rep)
-			log.Printf("state saved to %s; exiting", *statePath)
-			os.Exit(0)
-		}()
-	}
-
-	srv := smtp.NewServer(smtp.Config{Hostname: "mta." + *domain}, gateway.New(eng))
+	srv := smtp.NewServer(smtp.Config{Hostname: "mta." + *domain},
+		gateway.New(eng, gateway.WithOverload(ctl)))
 	l, err := net.Listen("tcp", *smtpAddr)
 	if err != nil {
 		log.Fatalf("smtp listen: %v", err)
 	}
+
+	// Graceful drain on SIGINT/SIGTERM: stop admitting (new mail is
+	// tempfailed 421), let in-flight SMTP sessions finish, flush the
+	// outbound challenge queue, write the final snapshot, exit.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		log.Printf("%v received; draining", sig)
+		drain(ctl, srv, queue, saver, wl, rep, *drainWait)
+		log.Printf("drain complete; exiting")
+		os.Exit(0)
+	}()
+
 	log.Printf("SMTP MTA-IN on %s (domain %s, open-relay=%v)", *smtpAddr, *domain, *openRelay)
-	log.Fatal(srv.Serve(l))
+	err = srv.Serve(l)
+	if ctl.Draining() {
+		select {} // Serve returned because drain closed the listener; let the drain goroutine exit the process
+	}
+	log.Fatal(err)
+}
+
+// drain is the graceful-shutdown sequence, in order: shed new
+// admissions (the gateway answers 421 "shutting down"), wait up to
+// timeout for in-flight SMTP sessions, push every queued outbound
+// challenge ignoring retry timers until the queue is empty or makes no
+// progress, then snapshot durable state. Factored out of the signal
+// handler so the e2e test drives it directly.
+func drain(ctl *overload.Controller, srv *smtp.Server, queue *outbound.Queue, saver *store.Saver, wl *whitelist.Store, rep *reputation.Store, timeout time.Duration) {
+	ctl.StartDrain()
+	if srv.Shutdown(timeout) {
+		log.Printf("smtp: all in-flight sessions finished")
+	} else {
+		log.Printf("smtp: force-closed lingering sessions after %v", timeout)
+	}
+	if queue != nil {
+		for {
+			n, err := queue.FlushAll()
+			if err != nil {
+				log.Printf("outbound drain: %v", err)
+				break
+			}
+			remaining := queue.Stats()[outbound.StatusQueued] + queue.Deferred()
+			if remaining == 0 {
+				log.Printf("outbound queue flushed")
+				break
+			}
+			if n == 0 {
+				log.Printf("outbound drain stalled with %d challenge(s) undeliverable", remaining)
+				break
+			}
+		}
+	}
+	saveState(saver, wl, rep)
 }
 
 // challengeBase turns the HTTP listen address into the public base URL

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/dnssim"
+	"repro/internal/gateway"
+	"repro/internal/mail"
+	"repro/internal/outbound"
+	"repro/internal/overload"
+	"repro/internal/smtp"
+	"repro/internal/store"
+	"repro/internal/whitelist"
+)
+
+// smarthostFake records what the outbound queue delivers to it.
+type smarthostFake struct {
+	mu       sync.Mutex
+	accepted []*mail.Message
+}
+
+func (s *smarthostFake) ValidateSender(mail.Address) *smtp.Reply    { return nil }
+func (s *smarthostFake) ValidateRcpt(_, _ mail.Address) *smtp.Reply { return nil }
+func (s *smarthostFake) Deliver(m *mail.Message) *smtp.Reply {
+	s.mu.Lock()
+	s.accepted = append(s.accepted, m)
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *smarthostFake) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.accepted)
+}
+
+// TestDrainGraceful is the shutdown e2e: an in-flight SMTP session is
+// allowed to finish (its mid-drain transaction is tempfailed 421, never
+// dropped), new connections are refused, the outbound challenge queue
+// flushes to the smarthost ignoring retry timers, and the final state
+// snapshot lands on disk.
+func TestDrainGraceful(t *testing.T) {
+	clk := clock.Real{}
+
+	// Fake smarthost the outbound queue drains into.
+	sh := &smarthostFake{}
+	shSrv := smtp.NewServer(smtp.Config{Hostname: "smarthost.example", ReadTimeout: 5 * time.Second}, sh)
+	shL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go shSrv.Serve(shL) //nolint:errcheck
+	defer shSrv.Close()
+
+	queue := outbound.NewQueue(outbound.Config{
+		Dial:       func() (*smtp.Client, error) { return smtp.Dial(shL.Addr().String(), 2*time.Second) },
+		HeloDomain: "corp.example",
+		MaxQueued:  10,
+	})
+
+	dns := dnssim.NewServer()
+	dns.RegisterMailDomain("example.com", "192.0.2.1")
+	wl := whitelist.NewStore(clk)
+	eng := core.New(core.Config{
+		Name:             "drain-test",
+		Domains:          []string{"corp.example"},
+		ChallengeFrom:    mail.MustParseAddress("challenge@corp.example"),
+		ChallengeBaseURL: "http://cr.corp.example",
+	}, clk, dns, nil, wl, queue.Sender())
+	eng.AddUser(mail.MustParseAddress("bob@corp.example"))
+
+	ctl := overload.New(overload.Config{Name: "drain-test", Clock: clk})
+	eng.SetServiceObserver(ctl.Observe)
+	eng.SetPressure(ctl.Pressured)
+
+	srv := smtp.NewServer(smtp.Config{Hostname: "mta.corp.example", ReadTimeout: 5 * time.Second},
+		gateway.New(eng, gateway.WithOverload(ctl)))
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l) //nolint:errcheck
+	addr := l.Addr().String()
+
+	c, err := smtp.Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Hello("client.example.com"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A pre-drain delivery: gray mail from an unknown sender, which
+	// makes the engine emit a challenge into the (unflushed) queue.
+	from := mail.MustParseAddress("alice@example.com")
+	to := mail.MustParseAddress("bob@corp.example")
+	if err := c.SendMail(from, []mail.Address{to}, smtp.BuildMessage(from, to, "hello there", "hi bob")); err != nil {
+		t.Fatalf("pre-drain transaction: %v", err)
+	}
+	if got := queue.Stats()[outbound.StatusQueued]; got != 1 {
+		t.Fatalf("challenge not queued before drain: stats %v", queue.Stats())
+	}
+
+	statePath := t.TempDir() + "/state.json"
+	saver := &store.Saver{Path: statePath, Name: "drain-test"}
+
+	done := make(chan struct{})
+	go func() {
+		drain(ctl, srv, queue, saver, wl, nil, 5*time.Second)
+		close(done)
+	}()
+
+	// The listener closes promptly: fresh connections are refused (or
+	// greeted 421 if they raced the close) while the session drains.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		c2, err := smtp.Dial(addr, 200*time.Millisecond)
+		if err != nil {
+			break
+		}
+		c2.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("listener still accepting after drain started")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The in-flight session keeps its connection: its next transaction
+	// is tempfailed (421, draining) rather than dropped or hung.
+	err = c.SendMail(from, []mail.Address{to}, smtp.BuildMessage(from, to, "late mail", "too late"))
+	if err == nil {
+		t.Fatal("mid-drain transaction accepted; want 421 tempfail")
+	}
+	if !strings.Contains(err.Error(), "421") {
+		t.Fatalf("mid-drain transaction error %q, want a 421 tempfail", err)
+	}
+	if err := c.Quit(); err != nil {
+		t.Fatalf("quit during drain: %v", err)
+	}
+
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain did not complete")
+	}
+
+	// The queued challenge was flushed to the smarthost during drain.
+	if got := sh.count(); got != 1 {
+		t.Fatalf("smarthost received %d message(s) during drain, want 1", got)
+	}
+	if left := queue.Stats()[outbound.StatusQueued] + queue.Deferred(); left != 0 {
+		t.Fatalf("%d challenge(s) left behind after drain", left)
+	}
+	// The final snapshot is on disk.
+	if fi, err := os.Stat(statePath); err != nil || fi.Size() == 0 {
+		t.Fatalf("final snapshot missing or empty: %v", err)
+	}
+	// The shed is accounted as a draining tempfail, not a drop.
+	if ctl.Metrics().Shed[overload.ReasonDraining] == 0 {
+		t.Error("mid-drain shed not recorded with reason draining")
+	}
+}

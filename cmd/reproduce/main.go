@@ -30,7 +30,7 @@ func main() {
 		seed        = flag.Int64("seed", 42, "simulation seed (equal seeds reproduce exactly)")
 		companies   = flag.Int("companies", 0, "override company count")
 		days        = flag.Int("days", 0, "override simulated days")
-		only        = flag.String("only", "", "render one artifact: fig1|table1|fig4a|fig4b|ratios|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|ablations|chaos|reputation")
+		only        = flag.String("only", "", "render one artifact: fig1|table1|fig4a|fig4b|ratios|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|ablations|chaos|reputation|surge")
 		sensitivity = flag.Int("sensitivity", 0, "instead of one run, simulate N seeds and print the cross-seed stability table")
 		faultPlan   = flag.String("fault-plan", "", "JSON fault plan file applied to the run (default plan for -only chaos)")
 	)
@@ -77,6 +77,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "chaos run: %d companies, %d simulated days, seed %d (x2)...\n",
 			cfg.Companies, cfg.Days, cfg.Seed)
 		fmt.Println(experiments.Chaos(cfg, plan).Render())
+		return
+	}
+	// The surge artifact sweeps burst intensities with admission control
+	// on, one fleet run per intensity.
+	if strings.ToLower(*only) == "surge" {
+		fmt.Fprintf(os.Stderr, "surge sweep: %d companies, %d simulated days, seed %d (x%d intensities)...\n",
+			cfg.Companies, cfg.Days, cfg.Seed, len(experiments.SurgeIntensities))
+		fmt.Println(experiments.Surge(cfg).Render())
 		return
 	}
 	// Likewise the reputation ablation: two identically-seeded fleets,

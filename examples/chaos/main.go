@@ -13,6 +13,11 @@
 // The same plan is in examples/chaos/plan.json for use with
 //
 //	go run ./cmd/reproduce -preset quick -only chaos -fault-plan examples/chaos/plan.json
+//
+// Valid rule targets are checked at plan load (a typo no longer
+// silently injects nothing): dns, av, smarthost, smarthost-dial,
+// store, reputation, surge, rbl:<name>, plus trailing-'*' prefix
+// wildcards such as "rbl:*" or "smarthost*".
 package main
 
 import (

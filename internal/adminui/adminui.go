@@ -12,6 +12,7 @@
 //	POST /digest/{user}/delete?msg={id}     — drop the message
 //	GET  /metrics                           — engine counters, text/plain
 //	GET  /reputation                        — sender-reputation standings
+//	GET  /overload                          — admission-controller state
 package adminui
 
 import (
@@ -26,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dnscache"
 	"repro/internal/mail"
+	"repro/internal/overload"
 	"repro/internal/reputation"
 )
 
@@ -34,6 +36,7 @@ type Server struct {
 	engine   *core.Engine
 	dnsCache *dnscache.Cache
 	rblCache *dnscache.RBLCache
+	ctl      *overload.Controller
 }
 
 // New returns the admin UI over engine.
@@ -47,6 +50,10 @@ func (s *Server) SetResolverCaches(dns *dnscache.Cache, rbl *dnscache.RBLCache) 
 	s.dnsCache = dns
 	s.rblCache = rbl
 }
+
+// SetOverload registers the deployment's admission controller so
+// /metrics exports its counters and /overload renders its state.
+func (s *Server) SetOverload(ctl *overload.Controller) { s.ctl = ctl }
 
 var digestTmpl = template.Must(template.New("digest").Parse(`<!DOCTYPE html>
 <html><head><title>Quarantine digest — {{.User}}</title></head><body>
@@ -86,6 +93,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/digest/", s.handleDigest)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/reputation", s.handleReputation)
+	mux.HandleFunc("/overload", s.handleOverload)
 	return mux
 }
 
@@ -214,6 +222,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "rbl_cache_hits %d\n", st.Hits)
 		fmt.Fprintf(w, "rbl_cache_hit_rate %.4f\n", st.HitRate())
 	}
+	if s.ctl != nil {
+		om := s.ctl.Metrics()
+		fmt.Fprintf(w, "overload_shed_total %d\n", om.ShedTotal())
+		fmt.Fprintf(w, "admission_queue_depth %d\n", om.QueueDepth)
+		fmt.Fprintf(w, "admission_limit %.2f\n", om.Limit)
+		fmt.Fprintf(w, "admission_inflight %d\n", om.InFlight)
+		fmt.Fprintf(w, "admission_admitted_total %d\n", om.Admitted())
+		draining := 0
+		if om.Draining {
+			draining = 1
+		}
+		fmt.Fprintf(w, "admission_draining %d\n", draining)
+	}
 	// Process-level contention counters: the cumulative time goroutines
 	// have spent blocked on mutexes is the live-deployment check that the
 	// engine's hot path stays contention-free (near-zero growth under
@@ -225,6 +246,62 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprintf(w, "gomaxprocs %d\n", runtime.GOMAXPROCS(0))
 	fmt.Fprintf(w, "goroutines %d\n", runtime.NumGoroutine())
+}
+
+var overloadTmpl = template.Must(template.New("overload").Parse(`<!DOCTYPE html>
+<html><head><title>Overload control — {{.Company}}</title></head><body>
+<h1>Admission control</h1>
+<p>State: {{if .Draining}}<b>draining</b> (shutdown in progress; new mail gets 421){{else}}accepting{{end}}</p>
+<table border="1" cellpadding="4">
+<tr><th>limit (AIMD)</th><td>{{printf "%.2f" .M.Limit}}</td></tr>
+<tr><th>in flight</th><td>{{.M.InFlight}}</td></tr>
+<tr><th>queue depth</th><td>{{.M.QueueDepth}} (max {{.M.MaxQueueDepth}})</td></tr>
+<tr><th>admitted</th><td>{{.Admitted}} ({{.M.AdmittedNow}} immediate, {{.M.AdmittedQueued}} queued)</td></tr>
+<tr><th>shed total</th><td>{{.ShedTotal}}</td></tr>
+<tr><th>latency observations</th><td>{{.M.Observations}} ({{.M.Decreases}} backoffs)</td></tr>
+<tr><th>admission delay p50 / p99</th><td>{{.P50}} / {{.P99}}</td></tr>
+</table>
+<h2>Shed by reason</h2>
+{{if .Sheds}}<table border="1" cellpadding="4">
+<tr><th>reason</th><th>count</th></tr>
+{{range .Sheds}}<tr><td>{{.Reason}}</td><td>{{.Count}}</td></tr>{{end}}
+</table>{{else}}<p>none — no mail has been shed</p>{{end}}
+<p>Shed mail is tempfailed (SMTP 451, or 421 while draining), never
+dropped: compliant senders retry and deliver once the surge passes.</p>
+</body></html>
+`))
+
+// handleOverload renders the admission controller's live state.
+func (s *Server) handleOverload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.ctl == nil {
+		http.Error(w, "no admission controller configured", http.StatusNotFound)
+		return
+	}
+	m := s.ctl.Metrics()
+	type shedRow struct {
+		Reason string
+		Count  int64
+	}
+	sheds := make([]shedRow, 0, len(m.Shed))
+	for reason, n := range m.Shed {
+		sheds = append(sheds, shedRow{string(reason), n})
+	}
+	sort.Slice(sheds, func(i, j int) bool { return sheds[i].Reason < sheds[j].Reason })
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = overloadTmpl.Execute(w, map[string]interface{}{
+		"Company":   s.engine.Name(),
+		"M":         m,
+		"Draining":  m.Draining,
+		"Admitted":  m.Admitted(),
+		"ShedTotal": m.ShedTotal(),
+		"Sheds":     sheds,
+		"P50":       m.DelayQuantile(0.50).String(),
+		"P99":       m.DelayQuantile(0.99).String(),
+	})
 }
 
 var reputationTmpl = template.Must(template.New("reputation").Parse(`<!DOCTYPE html>

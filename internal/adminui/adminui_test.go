@@ -13,6 +13,7 @@ import (
 	"repro/internal/dnssim"
 	"repro/internal/filters"
 	"repro/internal/mail"
+	"repro/internal/overload"
 	"repro/internal/reputation"
 	"repro/internal/whitelist"
 )
@@ -217,5 +218,75 @@ func TestMetricsEndpoint(t *testing.T) {
 	// POST not allowed.
 	if code, _ := post(t, srv.URL+"/metrics"); code != http.StatusMethodNotAllowed {
 		t.Fatalf("POST metrics = %d", code)
+	}
+}
+
+// TestOverloadPageAndMetrics exercises the /overload page and the
+// admission counters exported on /metrics.
+func TestOverloadPageAndMetrics(t *testing.T) {
+	clk := clock.NewSim(t0)
+	dns := dnssim.NewServer()
+	dns.RegisterMailDomain("corp.example", "192.0.2.10")
+	eng := core.New(core.Config{
+		Name:    "ui-overload",
+		Domains: []string{"corp.example"},
+	}, clk, dns, nil, whitelist.NewStore(clk), nil)
+
+	ctl := overload.New(overload.Config{
+		MinLimit: 1, InitialLimit: 1, MaxLimit: 1,
+		QueueCapacity: -1, Clock: clk, Name: "ui-overload",
+	})
+	ui := New(eng)
+	ui.SetOverload(ctl)
+	srv := httptest.NewServer(ui.Handler())
+	t.Cleanup(srv.Close)
+
+	// One admission held, one shed at the limit.
+	out := ctl.Submit("m1", nil, nil)
+	if out.Granted == nil {
+		t.Fatal("first submission not granted")
+	}
+	if !ctl.Submit("m2", nil, nil).Shed() {
+		t.Fatal("second submission not shed")
+	}
+
+	code, body := get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"overload_shed_total 1",
+		"admission_queue_depth 0",
+		"admission_limit 1.00",
+		"admission_inflight 1",
+		"admission_draining 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, srv.URL+"/overload")
+	if code != http.StatusOK {
+		t.Fatalf("/overload = %d", code)
+	}
+	for _, want := range []string{"accepting", "limit", "tempfailed"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/overload missing %q", want)
+		}
+	}
+
+	ctl.StartDrain()
+	_, body = get(t, srv.URL+"/overload")
+	if !strings.Contains(body, "draining") {
+		t.Error("/overload does not show draining state")
+	}
+}
+
+// TestOverloadPageUnconfigured is the no-controller 404.
+func TestOverloadPageUnconfigured(t *testing.T) {
+	_, _, _, srv := fixture(t)
+	if code, _ := get(t, srv.URL+"/overload"); code != http.StatusNotFound {
+		t.Errorf("/overload without controller = %d, want 404", code)
 	}
 }

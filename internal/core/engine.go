@@ -400,10 +400,12 @@ type Engine struct {
 	wl       *whitelist.Store
 	captcha  *captcha.Service
 
-	sendCh atomic.Pointer[ChallengeSender]
-	sink   atomic.Pointer[func(maillog.Event)]           // optional decision log
-	inbox  atomic.Pointer[func(Delivery, *mail.Message)] // optional delivery store
-	rep    atomic.Pointer[reputation.Store]              // optional sender-reputation store
+	sendCh   atomic.Pointer[ChallengeSender]
+	sink     atomic.Pointer[func(maillog.Event)]           // optional decision log
+	inbox    atomic.Pointer[func(Delivery, *mail.Message)] // optional delivery store
+	rep      atomic.Pointer[reputation.Store]              // optional sender-reputation store
+	svcObs   atomic.Pointer[func(time.Duration)]           // optional service-latency observer
+	pressure atomic.Pointer[func() bool]                   // optional overload-pressure probe
 
 	acctMu   sync.RWMutex
 	users    map[mail.Address]bool // protected accounts, by canonical address
@@ -534,6 +536,34 @@ func (e *Engine) SetReputation(s *reputation.Store) {
 // Reputation returns the installed reputation store (nil if none).
 func (e *Engine) Reputation() *reputation.Store {
 	return e.rep.Load()
+}
+
+// SetServiceObserver installs a per-message service-latency observer:
+// every Receive reports its wall (or virtual) duration, which an
+// admission controller (internal/overload) feeds to its AIMD limiter.
+// The observation uses the engine's injected clock, so simulated
+// latency windows are observed exactly.
+func (e *Engine) SetServiceObserver(fn func(time.Duration)) {
+	if fn == nil {
+		e.svcObs.Store(nil)
+		return
+	}
+	e.svcObs.Store(&fn)
+}
+
+// SetPressure installs an overload-pressure probe. When it reports
+// true, handleGray sheds the probe filter chain — the expensive,
+// advisory part of the pipeline — through the same degradation path a
+// dependency outage uses (fail-open, counted in FilterDegraded under
+// "overload", logged as a degraded event), and proceeds straight to
+// challenge/quarantine. Mail handling itself is never shed here; that
+// is the admission controller's job.
+func (e *Engine) SetPressure(fn func() bool) {
+	if fn == nil {
+		e.pressure.Store(nil)
+		return
+	}
+	e.pressure.Store(&fn)
 }
 
 // recordRep adds one outcome observation for (sender, ip), if a
@@ -722,6 +752,10 @@ func (e *Engine) lookupResolvable(domain string) (bool, error) {
 // been made and any side effects (delivery, challenge, quarantine) have
 // happened.
 func (e *Engine) Receive(msg *mail.Message) MTAReason {
+	if obs := e.svcObs.Load(); obs != nil {
+		start := e.clk.Now()
+		defer func() { (*obs)(e.clk.Now().Sub(start)) }()
+	}
 	e.c.mtaIncoming.Add(1)
 	e.c.mtaInBytes.Add(int64(msg.Size))
 
@@ -787,6 +821,15 @@ func (e *Engine) dispatch(msg *mail.Message) {
 // never silent — a maillog "reputation" event records the band, score
 // and contributing keys, and Metrics.ReputationFastPath counts it.
 func (e *Engine) handleGray(msg *mail.Message) GrayOutcome {
+	if p := e.pressure.Load(); p != nil && (*p)() && e.chain != nil {
+		// Overload pressure: shed the probe chain fail-open. The message
+		// still goes through challenge/quarantine — the CR core — so no
+		// mail is lost, only auxiliary filtering deferred.
+		e.c.filterDegraded.Add("overload", 1)
+		e.emit(maillog.KindDegraded, msg.ID,
+			"component", "overload", "mode", filters.FailOpen.String(), "action", "pass")
+		return e.challengeOrQuarantine(msg)
+	}
 	rep := e.rep.Load()
 	if rep != nil && e.chain != nil && !msg.EnvelopeFrom.IsNull() {
 		v, err := rep.Lookup(msg.EnvelopeFrom, msg.ClientIP)

@@ -3,6 +3,8 @@ package experiments
 import (
 	"reflect"
 	"testing"
+
+	"repro/internal/workload"
 )
 
 // TestWorkerCountInvariance is the parallel-fleet determinism contract:
@@ -34,5 +36,37 @@ func TestWorkerCountInvariance(t *testing.T) {
 	ccS, ccP := serial.Fleet.ClassCounts(), parallel.Fleet.ClassCounts()
 	if !reflect.DeepEqual(ccS, ccP) {
 		t.Errorf("class counts diverge across worker counts:\nworkers=1: %v\nworkers=8: %v", ccS, ccP)
+	}
+}
+
+// TestSurgeWorkerCountInvariance extends the determinism contract to
+// the overload path: a 10× burst with per-lane admission controllers,
+// per-lane surge injectors and shed-retry timers must produce
+// bit-for-bit identical stats for any worker count. (Unlike FaultPlan,
+// SurgePlan must not force serial execution — each lane owns a derived
+// injector stream.)
+func TestSurgeWorkerCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two surge runs")
+	}
+	mk := func(workers int) (workload.OverloadStats, map[workload.Class]int64) {
+		cfg := surgeQuick(7)
+		cfg.Workers = workers
+		cfg.Overload = SurgeOverloadConfig()
+		cfg.SurgePlan = SurgeLatencyPlan()
+		cfg.SurgeBursts = []workload.SurgeBurst{{Day: 1, Hour: 10, Hours: 3, Intensity: 10}}
+		run := NewRun(cfg)
+		return run.Fleet.OverloadStats(), run.Fleet.ClassCounts()
+	}
+	sS, ccS := mk(1)
+	sP, ccP := mk(8)
+	if !reflect.DeepEqual(sS, sP) {
+		t.Errorf("overload stats diverge across worker counts:\nworkers=1: %+v\nworkers=8: %+v", sS, sP)
+	}
+	if !reflect.DeepEqual(ccS, ccP) {
+		t.Errorf("class counts diverge across worker counts:\nworkers=1: %v\nworkers=8: %v", ccS, ccP)
+	}
+	if sS.Ctl.ShedTotal() == 0 {
+		t.Error("surge run shed nothing; invariance check is vacuous")
 	}
 }

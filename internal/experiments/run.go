@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/mail"
+	"repro/internal/overload"
 	"repro/internal/workload"
 )
 
@@ -38,6 +39,15 @@ type RunConfig struct {
 	// 0 means GOMAXPROCS, 1 runs serially; results are identical for
 	// every value.
 	Workers int
+	// Overload, when non-nil, puts an admission controller in front of
+	// every engine (the surge experiment).
+	Overload *overload.Config
+	// SurgeBursts schedules traffic-burst windows of extra botnet spam.
+	SurgeBursts []workload.SurgeBurst
+	// SurgePlan drives injected per-message service latency through the
+	// per-lane "surge" fault target. Unlike FaultPlan it does not force
+	// serial execution.
+	SurgePlan *faults.Plan
 }
 
 // Quick is the preset used by unit tests and benchmarks: small but large
@@ -77,6 +87,9 @@ func NewRun(cfg RunConfig) *Run {
 	wcfg := workload.DefaultConfig(cfg.Seed, cfg.Companies)
 	wcfg.FaultPlan = cfg.FaultPlan
 	wcfg.Workers = cfg.Workers
+	wcfg.Overload = cfg.Overload
+	wcfg.SurgeBursts = cfg.SurgeBursts
+	wcfg.SurgePlan = cfg.SurgePlan
 	for i := range wcfg.Profiles {
 		p := &wcfg.Profiles[i]
 		p.Users = max(5, int(float64(p.Users)*cfg.UserScale))

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// surgeQuick is the small config the surge tests sweep: three days is
+// enough for the day-1 burst plus a full retry tail.
+func surgeQuick(seed int64) RunConfig {
+	cfg := Quick(seed)
+	cfg.Days = 3
+	return cfg
+}
+
+// TestSurgeShedsSafely is the overload acceptance run: under campaign
+// bursts up to 10× the controllers must shed (monotonically more with
+// intensity), keep the queue bounded and the admission delay inside the
+// deadline — and lose zero ham: every shed ham message is tempfailed
+// and re-admitted on retry.
+func TestSurgeShedsSafely(t *testing.T) {
+	rep := Surge(surgeQuick(7))
+	if len(rep.Points) != len(SurgeIntensities) {
+		t.Fatalf("got %d points, want %d", len(rep.Points), len(SurgeIntensities))
+	}
+	capacity := SurgeOverloadConfig().QueueCapacity
+	deadline := SurgeOverloadConfig().QueueDeadline
+	var prevShed int64 = -1
+	for _, p := range rep.Points {
+		if p.HamDropped != 0 {
+			t.Errorf("%gx: %d ham messages silently dropped; shed mail must be tempfailed, never lost", p.Intensity, p.HamDropped)
+		}
+		if p.HamRecovered+p.HamOutstanding != p.HamShed {
+			t.Errorf("%gx: ham ledger does not balance: shed=%d recovered=%d outstanding=%d",
+				p.Intensity, p.HamShed, p.HamRecovered, p.HamOutstanding)
+		}
+		if p.MaxQueueDepth > int64(capacity) {
+			t.Errorf("%gx: max queue depth %d exceeds capacity %d", p.Intensity, p.MaxQueueDepth, capacity)
+		}
+		if p.P99Delay > deadline {
+			t.Errorf("%gx: p99 admission delay %v exceeds queue deadline %v", p.Intensity, p.P99Delay, deadline)
+		}
+		if p.ShedEvents < prevShed {
+			t.Errorf("%gx: shed events %d fell below previous intensity's %d", p.Intensity, p.ShedEvents, prevShed)
+		}
+		prevShed = p.ShedEvents
+	}
+	last := rep.Points[len(rep.Points)-1]
+	if last.ShedEvents == 0 {
+		t.Error("10x burst shed nothing; the experiment is not exercising overload")
+	}
+	if last.HamShed == 0 {
+		t.Error("10x burst shed no ham; the recovery path is not exercised")
+	}
+	if last.HamShed > 0 && last.HamRecovered == 0 {
+		t.Errorf("10x burst: %d ham shed but none recovered within the run", last.HamShed)
+	}
+	if last.SpamDropped == 0 {
+		t.Error("10x burst dropped no spam; the fail-safe asymmetry is not visible")
+	}
+	if !rep.HamSafe() {
+		t.Error("HamSafe() = false")
+	}
+}
+
+// TestSurgeRenderStable pins the report rendering to a deterministic
+// shape (header plus one row per intensity plus the safety verdict).
+func TestSurgeRenderStable(t *testing.T) {
+	rep := &SurgeReport{Points: []SurgePoint{{
+		Intensity: 10, Admitted: 100, ShedEvents: 25, ShedRate: 0.2,
+		MaxQueueDepth: 32, P99Delay: 10 * time.Second,
+		ShedBy:  map[string]int64{"queue-full": 25},
+		HamShed: 3, HamRecovered: 3,
+		SpamDropped: 20, Retries: 8,
+	}}}
+	out := rep.Render()
+	for _, want := range []string{"10x", "queue-full=25", "ham safety: PASS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	rep.Points[0].HamDropped = 1
+	if !strings.Contains(rep.Render(), "ham safety: FAIL") {
+		t.Error("render does not flag lost ham")
+	}
+}

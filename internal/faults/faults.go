@@ -20,6 +20,13 @@
 //	smarthost       per-item challenge delivery (4xx storms, send errors)
 //	smarthost-dial  the smarthost session/dial itself; "smarthost*" covers both
 //	store           durable-state snapshot writes
+//	reputation      sender-reputation store lookups
+//	surge           per-message engine service latency (overload/surge runs)
+//
+// Unknown targets are rejected at plan load: Validate checks every
+// rule's target against this list (plus "rbl:<name>" and prefix
+// wildcards), so a typo in a JSON plan fails fast instead of silently
+// injecting nothing.
 //
 // The hardened consumers (internal/filters.Hardened, core.Engine,
 // outbound.Queue) turn injected faults into explicit fail-open or
@@ -160,6 +167,38 @@ type Plan struct {
 	Rules []Rule `json:"rules"`
 }
 
+// validTargets are the exact injection-point names consulted anywhere
+// in the pipeline. "rbl:" is special-cased (providers are dynamic), and
+// a trailing '*' wildcard is checked against these prefixes.
+var validTargets = []string{
+	"dns", "av", "smarthost", "smarthost-dial", "store", "reputation", "surge",
+}
+
+// validTarget reports whether a rule's target can ever match a real
+// injection point.
+func validTarget(target string) bool {
+	if strings.HasPrefix(target, "rbl:") && len(target) > len("rbl:") {
+		return true // provider names (and "rbl:*") are deployment-defined
+	}
+	if prefix, ok := strings.CutSuffix(target, "*"); ok {
+		if prefix == "" {
+			return true // "*" matches everything by construction
+		}
+		for _, t := range validTargets {
+			if strings.HasPrefix(t, prefix) || strings.HasPrefix("rbl:", prefix) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, t := range validTargets {
+		if target == t {
+			return true
+		}
+	}
+	return false
+}
+
 // Validate rejects malformed plans before they poison a long run.
 func (p *Plan) Validate() error {
 	if p == nil {
@@ -172,6 +211,10 @@ func (p *Plan) Validate() error {
 	for i, r := range p.Rules {
 		if r.Target == "" {
 			return fmt.Errorf("faults: rule %d has no target", i)
+		}
+		if !validTarget(r.Target) {
+			return fmt.Errorf("faults: rule %d targets unknown injection point %q (valid: %s, rbl:<name>, and '*' prefix wildcards)",
+				i, r.Target, strings.Join(validTargets, ", "))
 		}
 		if !known[r.Kind] {
 			return fmt.Errorf("faults: rule %d has unknown kind %q", i, r.Kind)

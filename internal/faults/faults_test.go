@@ -167,3 +167,28 @@ func TestDescribe(t *testing.T) {
 		}
 	}
 }
+
+func TestValidateRejectsUnknownTargets(t *testing.T) {
+	bad := []string{"dsn", "smartohst", "rbl", "av2", "surge-x", "q*"}
+	for _, target := range bad {
+		p := &Plan{Rules: []Rule{{Target: target, Kind: KindTimeout}}}
+		err := p.Validate()
+		if err == nil {
+			t.Errorf("Validate accepted unknown target %q", target)
+			continue
+		}
+		if !strings.Contains(err.Error(), "dns") || !strings.Contains(err.Error(), "rbl:<name>") {
+			t.Errorf("error for %q should list valid targets, got: %v", target, err)
+		}
+	}
+	good := []string{
+		"dns", "av", "smarthost", "smarthost-dial", "store", "reputation",
+		"surge", "rbl:spamhaus", "rbl:*", "smarthost*", "s*", "*",
+	}
+	for _, target := range good {
+		p := &Plan{Rules: []Rule{{Target: target, Kind: KindTimeout}}}
+		if err := p.Validate(); err != nil {
+			t.Errorf("Validate rejected valid target %q: %v", target, err)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/greylist"
 	"repro/internal/mail"
+	"repro/internal/overload"
 	"repro/internal/smtp"
 )
 
@@ -17,6 +18,7 @@ import (
 type Backend struct {
 	engine *core.Engine
 	grey   *greylist.Store
+	ctl    *overload.Controller
 }
 
 // Option customises a Backend.
@@ -28,6 +30,15 @@ type Option func(*Backend)
 // at, cutting challenge volume before the CR engine even sees the spam.
 func WithGreylist(g *greylist.Store) Option {
 	return func(b *Backend) { b.grey = g }
+}
+
+// WithOverload puts an admission controller in front of Deliver: a
+// message the controller sheds is tempfailed — 451 under load, 421
+// while draining for shutdown — and never reaches the engine, so a
+// compliant sender retries it later. The shed policy is strictly
+// fail-safe: overload converts deliveries into retries, never losses.
+func WithOverload(ctl *overload.Controller) Option {
+	return func(b *Backend) { b.ctl = ctl }
 }
 
 // New returns the SMTP backend for engine.
@@ -94,8 +105,21 @@ func (b *Backend) ValidateRcpt(from, rcpt mail.Address) *smtp.Reply {
 }
 
 // Deliver implements smtp.Backend: accepted messages run the full
-// dispatcher pipeline (white/black/gray, filters, challenge).
+// dispatcher pipeline (white/black/gray, filters, challenge). With an
+// admission controller installed, delivery first acquires a slot (or
+// waits, bounded by the controller's queue deadline); a shed message is
+// tempfailed so the sending MTA retries it.
 func (b *Backend) Deliver(msg *mail.Message) *smtp.Reply {
+	if b.ctl != nil {
+		grant, reason, ok := b.ctl.Wait(msg.ID)
+		if !ok {
+			if reason == overload.ReasonDraining {
+				return &smtp.Reply{Code: 421, Text: "service shutting down, please retry later"}
+			}
+			return &smtp.Reply{Code: 451, Text: "server busy (" + string(reason) + "), please retry later"}
+		}
+		defer grant.Release()
+	}
 	switch b.engine.Receive(msg) {
 	case core.Accepted:
 		return nil

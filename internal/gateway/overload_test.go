@@ -1,0 +1,115 @@
+package gateway
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/dnssim"
+	"repro/internal/greylist"
+	"repro/internal/mail"
+	"repro/internal/overload"
+	"repro/internal/whitelist"
+)
+
+// overloadBackend wires an engine behind an admission controller with a
+// single slot and no queue, so the second concurrent delivery sheds.
+func overloadBackend(t *testing.T, opts ...Option) (*Backend, *overload.Controller) {
+	t.Helper()
+	clk := clock.Real{}
+	dns := dnssim.NewServer()
+	dns.RegisterMailDomain("example.com", "127.0.0.1")
+	wl := whitelist.NewStore(clk)
+	eng := core.New(core.Config{
+		Name:          "overloaded",
+		Domains:       []string{"corp.example"},
+		ChallengeFrom: mail.MustParseAddress("challenge@corp.example"),
+	}, clk, dns, nil, wl, func(core.OutboundChallenge) {})
+	eng.AddUser(mail.MustParseAddress("bob@corp.example"))
+	ctl := overload.New(overload.Config{
+		MinLimit: 1, InitialLimit: 1, MaxLimit: 1,
+		QueueCapacity: -1, // shed immediately at the limit
+		Name:          "overloaded",
+	})
+	return New(eng, append(opts, WithOverload(ctl))...), ctl
+}
+
+func TestDeliverShedsTempfail(t *testing.T) {
+	b, ctl := overloadBackend(t)
+	hold := ctl.Submit("occupier", nil, nil)
+	if hold.Granted == nil {
+		t.Fatal("could not occupy the only slot")
+	}
+	msg := grayMessage()
+	reply := b.Deliver(msg)
+	if reply == nil || reply.Code != 451 {
+		t.Fatalf("Deliver under load = %+v, want 451", reply)
+	}
+	if !strings.Contains(reply.Text, "busy") {
+		t.Fatalf("reply text %q should say busy", reply.Text)
+	}
+	// The engine never saw the shed message: shed is pre-admission.
+	if got := b.Engine().Metrics().MTAIncoming; got != 0 {
+		t.Fatalf("engine saw %d messages, want 0", got)
+	}
+	// Capacity freed: the retry is admitted and accepted.
+	hold.Granted.Release()
+	if reply := b.Deliver(msg); reply != nil {
+		t.Fatalf("Deliver after release = %+v, want accept", reply)
+	}
+	m := ctl.Metrics()
+	if m.ShedTotal() != 1 || m.Shed[overload.ReasonLimit] != 1 {
+		t.Fatalf("controller sheds = %+v", m.Shed)
+	}
+}
+
+func TestDeliverDraining421(t *testing.T) {
+	b, ctl := overloadBackend(t)
+	ctl.StartDrain()
+	reply := b.Deliver(grayMessage())
+	if reply == nil || reply.Code != 421 {
+		t.Fatalf("Deliver while draining = %+v, want 421", reply)
+	}
+}
+
+func TestGreylistRunsBeforeAdmission(t *testing.T) {
+	// A greylist 451 at RCPT must not consume an admission slot: the
+	// controller only guards Deliver, so greylisted first contacts are
+	// turned away before overload control is ever consulted.
+	g := greylist.New(greylist.Config{Delay: 10 * time.Minute}, clock.Real{})
+	b, ctl := overloadBackend(t, WithGreylist(g))
+	from := mail.MustParseAddress("alice@example.com")
+	rcpt := mail.MustParseAddress("bob@corp.example")
+	reply := b.ValidateRcpt(from, rcpt)
+	if reply == nil || reply.Code != 451 {
+		t.Fatalf("first contact = %+v, want greylist 451", reply)
+	}
+	m := ctl.Metrics()
+	if m.Admitted() != 0 || m.ShedTotal() != 0 {
+		t.Fatalf("controller consulted during greylisting: %+v", m)
+	}
+	// Saturate the controller: a message that passes RCPT still
+	// tempfails at DATA — overload and greylist 451s compose without
+	// masking each other.
+	hold := ctl.Submit("occupier", nil, nil)
+	defer hold.Granted.Release()
+	if reply := b.Deliver(grayMessage()); reply == nil || reply.Code != 451 {
+		t.Fatalf("Deliver = %+v, want overload 451", reply)
+	}
+	if ctl.Metrics().ShedTotal() != 1 {
+		t.Fatal("overload shed not recorded")
+	}
+}
+
+func grayMessage() *mail.Message {
+	return &mail.Message{
+		ID:           "gray-1",
+		EnvelopeFrom: mail.MustParseAddress("alice@example.com"),
+		Rcpt:         mail.MustParseAddress("bob@corp.example"),
+		ClientIP:     "127.0.0.1",
+		Subject:      "hello",
+		Size:         100,
+	}
+}

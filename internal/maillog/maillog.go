@@ -56,6 +56,11 @@ const (
 	// bypass is logged; reporting tooling can always explain why a
 	// message never reached the probe chain.
 	KindReputation Kind = "reputation"
+	// KindOverload: the admission controller shed a message (fields:
+	// reason, queue). Shed mail is tempfailed (SMTP 421/451), never
+	// dropped, so these events account for time-shifted — not lost —
+	// deliveries.
+	KindOverload Kind = "overload"
 )
 
 // maxInlinePairs is the number of key/value pairs an Event carries
@@ -313,6 +318,7 @@ type CompanyAggregate struct {
 	InBytes     int64
 	Degraded    map[string]int64 // degraded-mode fallbacks, by component
 	Reputation  map[string]int64 // reputation decisions, by action
+	Overload    map[string]int64 // admission sheds, by reason
 }
 
 func newCompanyAggregate() *CompanyAggregate {
@@ -323,6 +329,7 @@ func newCompanyAggregate() *CompanyAggregate {
 		Deliveries:  make(map[string]int64),
 		Degraded:    make(map[string]int64),
 		Reputation:  make(map[string]int64),
+		Overload:    make(map[string]int64),
 	}
 }
 
@@ -387,6 +394,8 @@ func (a *Aggregate) Add(e Event) {
 			c.Degraded[e.Field("component")]++
 		case KindReputation:
 			c.Reputation[e.Field("action")]++
+		case KindOverload:
+			c.Overload[e.Field("reason")]++
 		}
 	}
 }

@@ -100,6 +100,12 @@ type Config struct {
 	// is decided per item — tempfail synthesizes a 421, other faults
 	// surface as connection errors. A "smarthost*" rule covers both.
 	Injector faults.Injector
+	// MaxQueued bounds the number of items in the active delivery queue
+	// (any state — the queue also holds terminal items for reporting).
+	// Overflowing challenges are deferred, not dropped: they wait in a
+	// raw FIFO (un-rendered, no Item allocated) and are promoted as
+	// Flush frees capacity. 0 means unbounded.
+	MaxQueued int
 	// Now supplies timestamps; nil = time.Now.
 	Now func() time.Time
 }
@@ -116,6 +122,13 @@ type Queue struct {
 
 	mu    sync.Mutex
 	items []*Item
+	// deferred holds challenges that overflowed MaxQueued, FIFO. They
+	// carry no Item and no rendered body yet — deferral is deliberately
+	// the cheapest possible representation of "not yet".
+	deferred []core.OutboundChallenge
+	// active counts non-terminal (queued) items, so the bound check is
+	// O(1) per Enqueue.
+	active int
 }
 
 // NewQueue returns an empty queue.
@@ -138,11 +151,40 @@ func NewQueue(cfg Config) *Queue {
 	return &Queue{cfg: cfg}
 }
 
-// Enqueue adds a challenge for delivery on the next Flush.
+// Enqueue adds a challenge for delivery on the next Flush. When the
+// bounded active queue is full the challenge is deferred — generation
+// waits, it is never dropped.
 func (q *Queue) Enqueue(ch core.OutboundChallenge) {
 	q.mu.Lock()
+	if q.cfg.MaxQueued > 0 && q.active >= q.cfg.MaxQueued {
+		q.deferred = append(q.deferred, ch)
+		q.mu.Unlock()
+		return
+	}
 	q.items = append(q.items, &Item{Challenge: ch, NextTry: q.cfg.Now()})
+	q.active++
 	q.mu.Unlock()
+}
+
+// promoteLocked moves deferred challenges into the active queue while
+// capacity allows, preserving FIFO order. Caller holds q.mu.
+func (q *Queue) promoteLocked(now time.Time) {
+	for len(q.deferred) > 0 && (q.cfg.MaxQueued <= 0 || q.active < q.cfg.MaxQueued) {
+		ch := q.deferred[0]
+		q.deferred = q.deferred[1:]
+		q.items = append(q.items, &Item{Challenge: ch, NextTry: now})
+		q.active++
+	}
+	if len(q.deferred) == 0 {
+		q.deferred = nil
+	}
+}
+
+// Deferred reports how many challenges are waiting for queue capacity.
+func (q *Queue) Deferred() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.deferred)
 }
 
 // Sender returns a core.ChallengeSender that enqueues.
@@ -175,11 +217,23 @@ func RenderChallenge(ch core.OutboundChallenge) string {
 // (sent, bounced, expired). Transient errors reschedule per the retry
 // schedule; dial failures leave the queue untouched for the next Flush.
 func (q *Queue) Flush() (terminal int, err error) {
+	return q.flush(false)
+}
+
+// FlushAll is Flush ignoring each item's retry timer: every queued item
+// is attempted now. The graceful-drain path uses it so a shutdown does
+// not strand challenges waiting on a backoff schedule.
+func (q *Queue) FlushAll() (terminal int, err error) {
+	return q.flush(true)
+}
+
+func (q *Queue) flush(ignoreSchedule bool) (terminal int, err error) {
 	now := q.cfg.Now()
 	q.mu.Lock()
+	q.promoteLocked(now)
 	var due []*Item
 	for _, it := range q.items {
-		if it.Status == StatusQueued && !it.NextTry.After(now) {
+		if it.Status == StatusQueued && (ignoreSchedule || !it.NextTry.After(now)) {
 			due = append(due, it)
 		}
 	}
@@ -223,6 +277,7 @@ func (q *Queue) Flush() (terminal int, err error) {
 		case nil:
 			it.Status = StatusSent
 			terminal++
+			q.active--
 		case *smtp.Reply:
 			if e.Temporary() {
 				it.LastClass = ClassTempfail
@@ -230,12 +285,14 @@ func (q *Queue) Flush() (terminal int, err error) {
 				q.rescheduleLocked(it, now)
 				if it.Status == StatusExpired {
 					terminal++
+					q.active--
 				}
 			} else {
 				it.LastClass = ClassPermfail
 				it.LastError = string(ClassPermfail) + ": " + e.Error()
 				it.Status = StatusBounced
 				terminal++
+				q.active--
 			}
 			// The session survives SMTP-level rejections; reset the
 			// transaction for the next item.
@@ -249,12 +306,17 @@ func (q *Queue) Flush() (terminal int, err error) {
 			q.rescheduleLocked(it, now)
 			if it.Status == StatusExpired {
 				terminal++
+				q.active--
 			}
+			q.promoteLocked(now)
 			q.mu.Unlock()
 			return terminal, fmt.Errorf("outbound: session lost: %w", sendErr)
 		}
 		q.mu.Unlock()
 	}
+	q.mu.Lock()
+	q.promoteLocked(now)
+	q.mu.Unlock()
 	_ = client.Quit()
 	return terminal, nil
 }

@@ -2,6 +2,7 @@ package outbound
 
 import (
 	"errors"
+	"fmt"
 	"net"
 	"strings"
 	"sync"
@@ -134,7 +135,7 @@ func TestPermanentRejectionBounces(t *testing.T) {
 
 func TestTemporaryRejectionRetriesAndExpires(t *testing.T) {
 	sh, addr := startSmarthost(t)
-	sh.tempFail["busy@example.com"] = true
+	sh.tempFail[mail.MustParseAddress("busy@example.com").Key()] = true
 
 	now := time.Date(2010, 7, 1, 0, 0, 0, 0, time.UTC)
 	q := NewQueue(Config{
@@ -238,7 +239,7 @@ func TestStatusString(t *testing.T) {
 
 func TestErrorClassesDistinguished(t *testing.T) {
 	sh, addr := startSmarthost(t)
-	sh.tempFail["busy@example.com"] = true
+	sh.tempFail[mail.MustParseAddress("busy@example.com").Key()] = true
 	sh.permFail["ghost@example.com"] = true
 	q := newQueue(addr)
 	q.Enqueue(challengeTo("busy@example.com"))
@@ -272,7 +273,7 @@ func TestErrorClassesDistinguished(t *testing.T) {
 
 func TestExpiredItemRecordsExhaustingClass(t *testing.T) {
 	sh, addr := startSmarthost(t)
-	sh.tempFail["busy@example.com"] = true
+	sh.tempFail[mail.MustParseAddress("busy@example.com").Key()] = true
 	now := time.Date(2010, 7, 1, 0, 0, 0, 0, time.UTC)
 	q := NewQueue(Config{
 		Dial:          func() (*smtp.Client, error) { return smtp.Dial(addr, 2*time.Second) },
@@ -299,7 +300,7 @@ func TestExpiredItemRecordsExhaustingClass(t *testing.T) {
 
 func TestMaxAttemptsCapsRetrySchedule(t *testing.T) {
 	sh, addr := startSmarthost(t)
-	sh.tempFail["busy@example.com"] = true
+	sh.tempFail[mail.MustParseAddress("busy@example.com").Key()] = true
 	now := time.Date(2010, 7, 1, 0, 0, 0, 0, time.UTC)
 	q := NewQueue(Config{
 		Dial:          func() (*smtp.Client, error) { return smtp.Dial(addr, 2*time.Second) },
@@ -365,5 +366,74 @@ func TestInjectedOutageFailsBeforeDial(t *testing.T) {
 	}
 	if q.Stats()[StatusQueued] != 1 {
 		t.Fatalf("stats = %v", q.Stats())
+	}
+}
+
+func TestBoundedQueueDefersOverflow(t *testing.T) {
+	sh, addr := startSmarthost(t)
+	q := NewQueue(Config{
+		Dial:       func() (*smtp.Client, error) { return smtp.Dial(addr, 2*time.Second) },
+		HeloDomain: "cr.corp.example",
+		MaxQueued:  2,
+	})
+	for i := 0; i < 5; i++ {
+		q.Enqueue(challengeTo(fmt.Sprintf("sender%d@example.com", i)))
+	}
+	if got := q.Deferred(); got != 3 {
+		t.Fatalf("Deferred = %d, want 3", got)
+	}
+	if got := q.Stats()[StatusQueued]; got != 2 {
+		t.Fatalf("queued = %d, want 2 (bounded)", got)
+	}
+	// Each Flush delivers the active items and promotes deferred ones:
+	// nothing is ever dropped, generation is just time-shifted.
+	for i := 0; i < 3; i++ {
+		if _, err := q.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := q.Deferred(); got != 0 {
+		t.Fatalf("Deferred after flushes = %d, want 0", got)
+	}
+	if got := q.Stats()[StatusSent]; got != 5 {
+		t.Fatalf("sent = %d, want all 5", got)
+	}
+	if got := len(sh.accepted); got != 5 {
+		t.Fatalf("smarthost saw %d messages, want 5", got)
+	}
+	// FIFO: the deferred challenges arrive in enqueue order.
+	for i, m := range sh.accepted {
+		want := fmt.Sprintf("sender%d@example.com", i)
+		if m.Rcpt.String() != want {
+			t.Fatalf("delivery %d went to %s, want %s", i, m.Rcpt, want)
+		}
+	}
+}
+
+func TestFlushAllIgnoresRetryTimers(t *testing.T) {
+	sh, addr := startSmarthost(t)
+	sh.tempFail[mail.MustParseAddress("busy@example.com").Key()] = true
+	q := NewQueue(Config{
+		Dial:       func() (*smtp.Client, error) { return smtp.Dial(addr, 2*time.Second) },
+		HeloDomain: "cr.corp.example",
+	})
+	q.Enqueue(challengeTo("busy@example.com"))
+	if _, err := q.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Stats()[StatusQueued]; got != 1 {
+		t.Fatalf("queued = %d, want 1 (rescheduled)", got)
+	}
+	// A normal Flush skips the item (NextTry is in the future); the
+	// drain path's FlushAll attempts it anyway.
+	if n, _ := q.Flush(); n != 0 {
+		t.Fatalf("Flush attempted a not-yet-due item (%d terminal)", n)
+	}
+	sh.tempFail = map[string]bool{}
+	if _, err := q.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Stats()[StatusSent]; got != 1 {
+		t.Fatalf("sent = %d, want 1 after FlushAll", got)
 	}
 }

@@ -87,6 +87,7 @@ type Breaker struct {
 	state    State
 	fails    int // consecutive failures (closed) / probe failures (half-open)
 	probes   int // consecutive probe successes (half-open)
+	probing  int // half-open probes currently in flight (at most 1)
 	openedAt time.Time
 	stats    BreakerStats
 }
@@ -109,7 +110,11 @@ func NewBreaker(name string, cfg BreakerConfig, clk clock.Clock) *Breaker {
 func (b *Breaker) Name() string { return b.name }
 
 // Allow reports whether a request may proceed, transitioning
-// open → half-open once OpenTimeout has elapsed.
+// open → half-open once OpenTimeout has elapsed. Half-open admits one
+// probe at a time: concurrent callers racing the transition are
+// rejected until the in-flight probe Records its outcome, so a single
+// failed probe re-opens the breaker before a second request can slip
+// through to the still-broken dependency.
 func (b *Breaker) Allow() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -117,10 +122,18 @@ func (b *Breaker) Allow() bool {
 		if b.clk.Now().Sub(b.openedAt) >= b.cfg.OpenTimeout {
 			b.state = HalfOpen
 			b.probes = 0
+			b.probing = 0
 		} else {
 			b.stats.Rejected++
 			return false
 		}
+	}
+	if b.state == HalfOpen {
+		if b.probing > 0 {
+			b.stats.Rejected++
+			return false
+		}
+		b.probing++
 	}
 	return true
 }
@@ -129,6 +142,9 @@ func (b *Breaker) Allow() bool {
 func (b *Breaker) Record(err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.state == HalfOpen && b.probing > 0 {
+		b.probing--
+	}
 	if err == nil {
 		b.stats.Successes++
 		switch b.state {
@@ -161,6 +177,7 @@ func (b *Breaker) trip() {
 	b.openedAt = b.clk.Now()
 	b.fails = 0
 	b.probes = 0
+	b.probing = 0
 	b.stats.Trips++
 }
 

@@ -3,6 +3,8 @@ package resilience
 import (
 	"errors"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -186,4 +188,72 @@ func TestRetrierRetryablePredicate(t *testing.T) {
 	if calls != 1 {
 		t.Errorf("non-retryable error retried %d times", calls)
 	}
+}
+
+func TestHalfOpenAdmitsSingleConcurrentProbe(t *testing.T) {
+	clk := clock.NewSim(epoch)
+	b := NewBreaker("dep", BreakerConfig{FailureThreshold: 1, OpenTimeout: 30 * time.Second}, clk)
+	b.Record(errBoom) // trip
+	if b.State() != Open {
+		t.Fatal("breaker not open")
+	}
+	clk.Advance(time.Minute) // past OpenTimeout: next Allow goes half-open
+
+	// A stampede of recovered traffic races the half-open transition.
+	// Exactly one request may probe the dependency; the rest are
+	// rejected until that probe reports back.
+	const goroutines = 32
+	var wg sync.WaitGroup
+	var admitted int32
+	start := make(chan struct{})
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if b.Allow() {
+				atomic.AddInt32(&admitted, 1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if admitted != 1 {
+		t.Fatalf("half-open admitted %d concurrent probes, want exactly 1", admitted)
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want half-open while probe in flight", b.State())
+	}
+
+	// The single probe fails: the breaker re-opens immediately and
+	// everyone is refused again.
+	b.Record(errBoom)
+	if b.State() != Open {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("request admitted right after a failed probe re-opened the breaker")
+	}
+
+	// Next window: the probe succeeds and the breaker closes for all.
+	clk.Advance(time.Minute)
+	if !b.Allow() {
+		t.Fatal("probe not admitted in new half-open window")
+	}
+	b.Record(nil)
+	if b.State() != Closed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	var wg2 sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			if !b.Allow() {
+				t.Error("closed breaker refused a request")
+			}
+			b.Record(nil)
+		}()
+	}
+	wg2.Wait()
 }

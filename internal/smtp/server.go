@@ -126,6 +126,9 @@ func (s *Server) Serve(l net.Listener) error {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
+			// Lost the race with shutdown: turn the client away with a
+			// tempfail instead of slamming the connection, so it retries.
+			fmt.Fprintf(conn, "421 %s service shutting down, try again later\r\n", s.cfg.Hostname)
 			conn.Close()
 			return net.ErrClosed
 		}
@@ -157,6 +160,46 @@ func (s *Server) Close() {
 	for c := range s.conns {
 		c.Close()
 	}
+}
+
+// Shutdown drains the server gracefully: it stops accepting new
+// connections immediately, then waits up to timeout for in-flight
+// sessions to finish their transactions before force-closing whatever
+// remains. It returns true if every session ended on its own. Combined
+// with a draining admission controller (new DATA payloads get 421),
+// this is the SMTP half of the fail-safe drain sequence: a shutdown
+// turns deliveries into retries, never losses.
+func (s *Server) Shutdown(timeout time.Duration) bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return true
+	}
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	s.mu.Unlock()
+
+	deadline := time.Now().Add(timeout)
+	for {
+		s.mu.Lock()
+		n := len(s.conns)
+		s.mu.Unlock()
+		if n == 0 {
+			return true
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	return false
 }
 
 // session is the per-connection state machine.

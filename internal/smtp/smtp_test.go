@@ -474,3 +474,65 @@ func BenchmarkTransactionOverTCP(b *testing.B) {
 		}
 	}
 }
+
+func TestShutdownWaitsForInFlightSession(t *testing.T) {
+	b := newBackend()
+	addr, srv := startServer(t, b)
+	c, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Hello("client.example.com"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan bool, 1)
+	go func() { done <- srv.Shutdown(5 * time.Second) }()
+	// The listener closes promptly: new connections are refused while
+	// the in-flight session keeps working.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		c2, err := Dial(addr, 200*time.Millisecond)
+		if err != nil {
+			break
+		}
+		// Raced an accept that got the 421 greeting; try again.
+		c2.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("listener still accepting after Shutdown started")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The in-flight session completes a full transaction mid-drain.
+	from := mail.MustParseAddress("alice@example.com")
+	to := mail.MustParseAddress("bob@corp.example")
+	if err := c.SendMail(from, []mail.Address{to}, BuildMessage(from, to, "subject", "body")); err != nil {
+		t.Fatalf("in-flight transaction failed during drain: %v", err)
+	}
+	if err := c.Quit(); err != nil {
+		t.Fatal(err)
+	}
+	if clean := <-done; !clean {
+		t.Fatal("Shutdown force-closed despite session ending")
+	}
+	if got := len(b.messages()); got != 1 {
+		t.Fatalf("delivered = %d, want 1", got)
+	}
+}
+
+func TestShutdownForceClosesAfterTimeout(t *testing.T) {
+	b := newBackend()
+	addr, srv := startServer(t, b)
+	c, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Hello("client.example.com"); err != nil {
+		t.Fatal(err)
+	}
+	// The session idles past the timeout: Shutdown reports force-close.
+	if clean := srv.Shutdown(100 * time.Millisecond); clean {
+		t.Fatal("Shutdown reported clean drain with a lingering session")
+	}
+}

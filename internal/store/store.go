@@ -13,11 +13,13 @@ package store
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/faults"
@@ -80,9 +82,17 @@ func Load(r io.Reader, wl *whitelist.Store, rep *reputation.Store) (*Snapshot, e
 	return &snap, nil
 }
 
-// SaveFile atomically writes the snapshot to path: the data lands in a
-// temp file in the same directory and is renamed into place, so readers
-// never observe a partial snapshot.
+// SaveFile atomically writes the snapshot to path.
+//
+// Durability contract: the data lands in a temp file in the same
+// directory, is fsynced, renamed into place, and then the parent
+// directory is fsynced. Readers never observe a partial snapshot (the
+// rename is atomic), and once SaveFile returns the new snapshot
+// survives a crash: on filesystems that journal metadata only (or
+// reorder the rename against the durable directory entry), a crash
+// immediately after os.Rename could otherwise roll the directory back
+// to the old entry — or to none — losing the snapshot the caller was
+// just told is safe. The directory fsync pins the rename itself.
 func SaveFile(path, name string, wl *whitelist.Store, rep *reputation.Store, now time.Time) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".crstate-*")
@@ -105,6 +115,21 @@ func SaveFile(path, name string, wl *whitelist.Store, rep *reputation.Store, now
 	}
 	if err := os.Rename(tmpName, path); err != nil {
 		return fmt.Errorf("store: rename: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable. Some
+// platforms refuse to fsync directories; those errors are ignored —
+// the rename already happened, durability is simply best-effort there.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: open dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return fmt.Errorf("store: sync dir: %w", err)
 	}
 	return nil
 }

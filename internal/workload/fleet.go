@@ -17,6 +17,7 @@ import (
 	"repro/internal/greylist"
 	"repro/internal/mail"
 	"repro/internal/maillog"
+	"repro/internal/overload"
 	"repro/internal/rbl"
 	"repro/internal/reputation"
 	"repro/internal/resilience"
@@ -104,6 +105,25 @@ type Config struct {
 	// blocklist provider, and the scanner backends all consult one seeded
 	// injector, so a run under faults is exactly reproducible.
 	FaultPlan *faults.Plan
+
+	// Overload, when non-nil, puts an admission controller in front of
+	// every engine: messages pass overload.Controller.Submit before
+	// Receive, shed mail is tempfailed (451) and retried per the sender's
+	// MTA model — real senders always retry, bots with SpamRetryProb —
+	// and the engine sheds probe-filter work while the admission queue is
+	// pressured. Name and Clock are overridden per company.
+	Overload *overload.Config
+	// SurgeBursts schedules windows of extra botnet spam on top of the
+	// profile volumes (Intensity 10 ≈ the paper-scale 10× campaign
+	// burst). Bursts are injected per lane, so runs stay worker-count
+	// invariant.
+	SurgeBursts []SurgeBurst
+	// SurgePlan, when non-nil, drives per-message engine service latency
+	// through the "surge" fault target. Unlike FaultPlan it does NOT
+	// force serial execution: every lane derives its own injector from
+	// (Seed, company), so decisions are lane-local and deterministic for
+	// any worker count.
+	SurgePlan *faults.Plan
 
 	// Measurement.
 	CheckerPeriod time.Duration // §5.1 blacklist polling period
@@ -196,13 +216,13 @@ type Fleet struct {
 
 	rng        *rand.Rand
 	profiles   map[string]CompanyProfile
-	users      map[string][]mail.Address          // company -> protected users
-	seededWL   map[mail.Address][]mail.Address    // canonical user -> seeded contacts
-	seededBL   map[mail.Address][]mail.Address    // canonical user -> blacklisted senders
-	rejectedBy map[string]mail.Address            // company -> its rejected sender
-	activity   map[mail.Address]float64           // canonical user -> outbound-activity multiplier
-	greylists  map[string]*greylist.Store         // company -> greylist (when enabled)
-	reputation map[string]*reputation.Store       // company -> reputation store (when enabled)
+	users      map[string][]mail.Address       // company -> protected users
+	seededWL   map[mail.Address][]mail.Address // canonical user -> seeded contacts
+	seededBL   map[mail.Address][]mail.Address // canonical user -> blacklisted senders
+	rejectedBy map[string]mail.Address         // company -> its rejected sender
+	activity   map[mail.Address]float64        // canonical user -> outbound-activity multiplier
+	greylists  map[string]*greylist.Store      // company -> greylist (when enabled)
+	reputation map[string]*reputation.Store    // company -> reputation store (when enabled)
 
 	legitPool     []mail.Address
 	innocents     []mail.Address
@@ -291,6 +311,7 @@ const (
 	saltNetLane
 	saltCampaignCovers
 	saltCampaignTargets
+	saltSurge
 )
 
 // deriveSeed hashes a base seed and salts into the seed of an
@@ -565,6 +586,15 @@ type companyLane struct {
 	active  []*Campaign // pickSpamCampaign scratch, reused per call
 	names   interner    // hot-string interner ("mail.<domain>" …)
 	scratch []byte      // byte scratch for name minting and intern probes
+
+	// Overload admission (nil unless Config.Overload): the controller
+	// runs on the lane clock and its events buffer into logBuf like the
+	// engine's, so the shed stream is worker-count invariant.
+	ctl *overload.Controller
+	// surge is the lane's private service-latency injector (nil unless
+	// Config.SurgePlan), seeded from (Seed, saltSurge, company).
+	surge      *faults.Set
+	surgeStats laneSurgeStats
 }
 
 func (f *Fleet) buildCompanies() {
@@ -665,6 +695,23 @@ func (f *Fleet) buildCompanies() {
 		}
 		if f.Cfg.UseGreylisting {
 			f.greylists[p.Name] = greylist.New(greylist.DefaultConfig(), ln.clk)
+		}
+		if f.Cfg.Overload != nil {
+			oc := *f.Cfg.Overload
+			oc.Name = p.Name
+			oc.Clock = ln.clk
+			oc.EventSink = func(ev maillog.Event) {
+				ln.logBuf = append(ln.logBuf, ev)
+			}
+			ln.ctl = overload.New(oc)
+			// Under queue pressure the engine sheds its probe-filter
+			// work (fail-open degradation) before admissions themselves
+			// start tempfailing mail.
+			eng.SetPressure(ln.ctl.Pressured)
+		}
+		if f.Cfg.SurgePlan != nil {
+			ln.surge = faults.New(f.Cfg.SurgePlan,
+				deriveSeed(f.Cfg.Seed, saltSurge, int64(i)), ln.clk)
 		}
 		f.DNS.RegisterMailDomain(p.Domain, challengeIP)
 

@@ -69,11 +69,22 @@ func (f *Fleet) runOneDay() {
 			if h < volume%24 {
 				n++
 			}
-			if n == 0 {
+			// Surge bursts top the hour up with extra botnet spam so total
+			// volume hits roughly Intensity× baseline (max(n,1) keeps a
+			// burst visible even at tiny scaled volumes).
+			extra := f.burstExtra(dayIdx, h, max(n, 1))
+			if n == 0 && extra == 0 {
 				continue
 			}
-			count := n
+			count, boost := n, extra
 			ln.sched.At(dayStart.Add(time.Duration(h)*time.Hour), func() {
+				// The burst spam floods first: ham arriving behind it
+				// inside the window sees a saturated queue, which is
+				// exactly the shed-then-retry path the surge experiment
+				// must exercise.
+				for i := 0; i < boost; i++ {
+					f.injectClass(ln, ClassSpam)
+				}
 				for i := 0; i < count; i++ {
 					f.injectOne(ln)
 				}
@@ -264,8 +275,13 @@ func drawClass(rng *rand.Rand, m Mix) Class {
 // RNG, and ground-truth writes stage in lane-local maps merged at the
 // next barrier (mergeLaneState) — no shared lock per message.
 func (f *Fleet) injectOne(ln *companyLane) {
+	f.injectClass(ln, drawClass(ln.rng, ln.profile.Mix))
+}
+
+// injectClass generates and delivers one message of a fixed class
+// (surge bursts inject extra ClassSpam directly, bypassing the mix).
+func (f *Fleet) injectClass(ln *companyLane, class Class) {
 	comp, p := ln.comp, ln.profile
-	class := drawClass(ln.rng, p.Mix)
 	msg := f.buildMessage(ln, p, class)
 	ln.classCounts[class]++
 
@@ -303,8 +319,23 @@ func (f *Fleet) injectOne(ln *companyLane) {
 }
 
 // deliverToEngine hands an (un-greylisted or retried) message to the
-// engine and captures gray-spool context.
+// engine, passing the admission controller first when overload control
+// is on (greylisting already ran: the 451s compose, greylist at RCPT
+// and admission at delivery, matching the live gateway's ordering).
 func (f *Fleet) deliverToEngine(ln *companyLane, msg *mail.Message, class Class) {
+	if ln.ctl == nil {
+		f.deliverNow(ln, msg, class, 0)
+		return
+	}
+	f.admitAndDeliver(ln, msg, class, 0)
+}
+
+// deliverNow performs the actual engine handoff and captures gray-spool
+// context. attempt counts prior admission sheds of this message.
+func (f *Fleet) deliverNow(ln *companyLane, msg *mail.Message, class Class, attempt int) {
+	if attempt > 0 && class.Wanted() {
+		ln.surgeStats.hamRecovered++
+	}
 	verdict := ln.comp.Engine.Receive(msg)
 	if verdict != 0 { // core.Accepted == 0
 		// MTA rejections retain nothing: recycle the message.
