@@ -47,6 +47,7 @@ import (
 	"repro/internal/resilience"
 	"repro/internal/smtp"
 	"repro/internal/store"
+	"repro/internal/wal"
 	"repro/internal/whitelist"
 )
 
@@ -65,6 +66,9 @@ func main() {
 		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault injector's RNG (with -fault-plan)")
 		maxQueued = flag.Int("max-outbound", 1000, "bound on in-flight outbound challenges; overflow defers (0 = unbounded)")
 		drainWait = flag.Duration("drain-timeout", 10*time.Second, "how long SIGTERM waits for in-flight SMTP sessions before force-closing")
+		walDir    = flag.String("wal-dir", "", "write-ahead-log directory; every whitelist/reputation mutation is journalled and replayed over the snapshot at boot (empty = snapshots only)")
+		walFsync  = flag.Duration("wal-fsync-interval", 2*time.Millisecond, "group-commit window: how long the flusher waits to batch concurrent appends into one fsync (0 = fsync eagerly)")
+		walSeg    = flag.Int64("wal-segment-bytes", 4<<20, "WAL segment rotation threshold in bytes")
 	)
 	flag.Parse()
 
@@ -119,9 +123,38 @@ func main() {
 		harden(filters.NewRBL(rblBackend), filters.FailOpen),
 	)
 	wl := whitelist.NewStore(clk)
+	st := store.Stores{Whitelist: wl, Reputation: rep}
 	saver := &store.Saver{Path: *statePath, Name: "crserver", Injector: inj}
-	if *statePath != "" {
-		snap, err := store.LoadFile(*statePath, wl, rep)
+	var walLog *wal.Log
+	if *walDir != "" {
+		// Crash recovery: newest snapshot first, then the WAL suffix past
+		// its cut. A torn tail (the normal aftermath of a crash) is
+		// truncated, never fatal.
+		if err := os.MkdirAll(*walDir, 0o755); err != nil {
+			log.Fatalf("wal dir: %v", err)
+		}
+		rec, err := store.Recover(*statePath, wal.Options{
+			Dir:           *walDir,
+			FsyncInterval: *walFsync,
+			SegmentBytes:  *walSeg,
+			Injector:      inj,
+		}, st)
+		if err != nil {
+			log.Fatalf("recovery: %v", err)
+		}
+		walLog = rec.Log
+		if rec.Snapshot != nil {
+			log.Printf("restored snapshot %q (wal cut %d, %d reputation entries) from %s",
+				rec.Snapshot.Name, rec.Snapshot.WalLSN, len(rec.Snapshot.Reputation),
+				rec.Snapshot.SavedAt.Format(time.RFC3339))
+		}
+		log.Printf("wal: replayed %d record(s), last LSN %d", rec.Replayed, walLog.LastLSN())
+		if rec.Truncated {
+			log.Printf("wal: truncated torn tail (%d byte(s) discarded) — expected after a crash", rec.TornBytes)
+		}
+		wal.NewJournal(walLog).Attach(wl, rep, nil)
+	} else if *statePath != "" {
+		snap, err := store.LoadFile(*statePath, st)
 		if err != nil {
 			log.Fatalf("state load: %v", err)
 		}
@@ -196,11 +229,16 @@ func main() {
 		ui := adminui.New(eng)
 		ui.SetResolverCaches(dnsCache, rblCache)
 		ui.SetOverload(ctl)
+		ui.SetSaver(saver)
+		if walLog != nil {
+			ui.SetWAL(walLog)
+		}
 		admin := ui.Handler()
 		mux.Handle("/digest/", admin)
 		mux.Handle("/metrics", admin)
 		mux.Handle("/reputation", admin)
 		mux.Handle("/overload", admin)
+		mux.Handle("/wal", admin)
 		mux.HandleFunc("/mbox/", func(w http.ResponseWriter, r *http.Request) {
 			userRaw := strings.TrimPrefix(r.URL.Path, "/mbox/")
 			user, err := mail.ParseAddress(userRaw)
@@ -222,7 +260,7 @@ func main() {
 			if n := eng.ExpireQuarantine(); n > 0 {
 				log.Printf("expired %d quarantined message(s)", n)
 			}
-			saveState(saver, wl, rep)
+			saveState(saver, st, walLog)
 		}
 	}()
 
@@ -254,7 +292,7 @@ func main() {
 	go func() {
 		sig := <-sigc
 		log.Printf("%v received; draining", sig)
-		drain(ctl, srv, queue, saver, wl, rep, *drainWait)
+		drain(ctl, srv, queue, saver, st, walLog, *drainWait)
 		log.Printf("drain complete; exiting")
 		os.Exit(0)
 	}()
@@ -271,9 +309,10 @@ func main() {
 // admissions (the gateway answers 421 "shutting down"), wait up to
 // timeout for in-flight SMTP sessions, push every queued outbound
 // challenge ignoring retry timers until the queue is empty or makes no
-// progress, then snapshot durable state. Factored out of the signal
-// handler so the e2e test drives it directly.
-func drain(ctl *overload.Controller, srv *smtp.Server, queue *outbound.Queue, saver *store.Saver, wl *whitelist.Store, rep *reputation.Store, timeout time.Duration) {
+// progress, then snapshot durable state (compacting the WAL behind the
+// cut) and close the log. Factored out of the signal handler so the
+// e2e test drives it directly.
+func drain(ctl *overload.Controller, srv *smtp.Server, queue *outbound.Queue, saver *store.Saver, st store.Stores, walLog *wal.Log, timeout time.Duration) {
 	ctl.StartDrain()
 	if srv.Shutdown(timeout) {
 		log.Printf("smtp: all in-flight sessions finished")
@@ -298,7 +337,12 @@ func drain(ctl *overload.Controller, srv *smtp.Server, queue *outbound.Queue, sa
 			}
 		}
 	}
-	saveState(saver, wl, rep)
+	saveState(saver, st, walLog)
+	if walLog != nil {
+		if err := walLog.Close(); err != nil {
+			log.Printf("wal close: %v", err)
+		}
+	}
 }
 
 // challengeBase turns the HTTP listen address into the public base URL
@@ -314,11 +358,36 @@ func challengeBase(httpAddr string) string {
 // rather than failing — the mail path must survive a full state disk
 // (or an injected write error), and the atomic save keeps the previous
 // snapshot intact.
-func saveState(s *store.Saver, wl *whitelist.Store, rep *reputation.Store) {
+//
+// With a WAL attached this is also the compaction cycle: the cut is
+// sampled BEFORE exporting (mutations journalled during the export
+// replay idempotently on top), the active segment is sealed so the cut
+// lives in a compactable segment, and after a successful save every
+// sealed segment wholly at or below the cut is deleted.
+func saveState(s *store.Saver, st store.Stores, walLog *wal.Log) {
 	if s.Path == "" {
 		return
 	}
-	if err := s.Save(wl, rep, time.Now()); err != nil {
+	var cut uint64
+	if walLog != nil {
+		cut = walLog.LastLSN()
+		if err := walLog.Sync(); err != nil {
+			log.Printf("wal sync before snapshot failed: %v (skipping snapshot)", err)
+			return
+		}
+		if err := walLog.Rotate(); err != nil {
+			log.Printf("wal rotate failed: %v", err)
+		}
+	}
+	if err := s.Save(st, cut, time.Now()); err != nil {
 		log.Printf("state save failed: %v", err)
+		return
+	}
+	if walLog != nil {
+		if n, err := walLog.CompactThrough(cut); err != nil {
+			log.Printf("wal compaction failed: %v", err)
+		} else if n > 0 {
+			log.Printf("wal: compacted %d sealed segment(s) behind LSN %d", n, cut)
+		}
 	}
 }

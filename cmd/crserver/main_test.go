@@ -114,7 +114,7 @@ func TestDrainGraceful(t *testing.T) {
 
 	done := make(chan struct{})
 	go func() {
-		drain(ctl, srv, queue, saver, wl, nil, 5*time.Second)
+		drain(ctl, srv, queue, saver, store.Stores{Whitelist: wl}, nil, 5*time.Second)
 		close(done)
 	}()
 

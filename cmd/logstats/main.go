@@ -6,6 +6,7 @@
 //	logstats < cr.log            # aggregate an existing log
 //	logstats -demo               # simulate a small fleet, log it, parse it
 //	logstats -per-company < cr.log
+//	logstats -wal wal-0000000000000001.seg   # pretty-print a WAL segment
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 
 	"repro/internal/maillog"
 	"repro/internal/report"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -27,8 +29,19 @@ func main() {
 		demo       = flag.Bool("demo", false, "simulate a small fleet and analyze its own log")
 		perCompany = flag.Bool("per-company", false, "print one row per company")
 		seed       = flag.Int64("seed", 1, "demo fleet seed")
+		walSeg     = flag.String("wal", "", "pretty-print a write-ahead-log segment file and exit")
 	)
 	flag.Parse()
+
+	if *walSeg != "" {
+		// Offline WAL inspection: record-by-record dump of one segment,
+		// reporting a torn tail instead of erroring — the same tolerance
+		// the boot-time replay has.
+		if err := wal.Dump(os.Stdout, *walSeg); err != nil {
+			log.Fatalf("wal dump: %v", err)
+		}
+		return
+	}
 
 	var input io.Reader = os.Stdin
 	if *demo {

@@ -30,7 +30,8 @@ func main() {
 		seed        = flag.Int64("seed", 42, "simulation seed (equal seeds reproduce exactly)")
 		companies   = flag.Int("companies", 0, "override company count")
 		days        = flag.Int("days", 0, "override simulated days")
-		only        = flag.String("only", "", "render one artifact: fig1|table1|fig4a|fig4b|ratios|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|ablations|chaos|reputation|surge")
+		only        = flag.String("only", "", "render one artifact: fig1|table1|fig4a|fig4b|ratios|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|ablations|chaos|reputation|surge|crashrestart")
+		crashes     = flag.Int("crashes", 6, "crash points for -only crashrestart")
 		sensitivity = flag.Int("sensitivity", 0, "instead of one run, simulate N seeds and print the cross-seed stability table")
 		faultPlan   = flag.String("fault-plan", "", "JSON fault plan file applied to the run (default plan for -only chaos)")
 	)
@@ -85,6 +86,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "surge sweep: %d companies, %d simulated days, seed %d (x%d intensities)...\n",
 			cfg.Companies, cfg.Days, cfg.Seed, len(experiments.SurgeIntensities))
 		fmt.Println(experiments.Surge(cfg).Render())
+		return
+	}
+	// The crash-restart artifact exercises the WAL durability contract
+	// on a single installation rather than the fleet: seeded traffic,
+	// seeded crashes with torn tails, byte-identical recovery.
+	if strings.ToLower(*only) == "crashrestart" {
+		fmt.Fprintf(os.Stderr, "crash-restart durability: %d seeded crash point(s), seed %d...\n",
+			*crashes, cfg.Seed)
+		rep, err := experiments.CrashRestart(cfg.Seed, *crashes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crash-restart: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.Render())
+		if !rep.Pass() {
+			os.Exit(1)
+		}
 		return
 	}
 	// Likewise the reputation ablation: two identically-seeded fleets,

@@ -205,12 +205,12 @@ func TestEndToEndFullDeployment(t *testing.T) {
 	// --- 6. Persistence: a fresh engine restored from a snapshot still
 	// trusts alice — whitelist and reputation history both survive. ---
 	var snap strings.Builder
-	if err := store.Save(&snap, "e2e", wl, rep, time.Now()); err != nil {
+	if err := store.Save(&snap, "e2e", store.Stores{Whitelist: wl, Reputation: rep}, 0, time.Now()); err != nil {
 		t.Fatal(err)
 	}
 	wl2 := whitelist.NewStore(clk)
 	rep2 := reputation.NewStore(reputation.DefaultConfig(), clk)
-	if _, err := store.Load(strings.NewReader(snap.String()), wl2, rep2); err != nil {
+	if _, err := store.Load(strings.NewReader(snap.String()), store.Stores{Whitelist: wl2, Reputation: rep2}); err != nil {
 		t.Fatal(err)
 	}
 	if !wl2.IsWhite(bob, alice) {

@@ -13,6 +13,7 @@
 //	GET  /metrics                           — engine counters, text/plain
 //	GET  /reputation                        — sender-reputation standings
 //	GET  /overload                          — admission-controller state
+//	GET  /wal                               — write-ahead-log segments and watermarks
 package adminui
 
 import (
@@ -29,6 +30,8 @@ import (
 	"repro/internal/mail"
 	"repro/internal/overload"
 	"repro/internal/reputation"
+	"repro/internal/store"
+	"repro/internal/wal"
 )
 
 // Server renders the digest UI for one engine.
@@ -37,6 +40,8 @@ type Server struct {
 	dnsCache *dnscache.Cache
 	rblCache *dnscache.RBLCache
 	ctl      *overload.Controller
+	wal      *wal.Log
+	saver    *store.Saver
 }
 
 // New returns the admin UI over engine.
@@ -54,6 +59,14 @@ func (s *Server) SetResolverCaches(dns *dnscache.Cache, rbl *dnscache.RBLCache) 
 // SetOverload registers the deployment's admission controller so
 // /metrics exports its counters and /overload renders its state.
 func (s *Server) SetOverload(ctl *overload.Controller) { s.ctl = ctl }
+
+// SetWAL registers the installation's write-ahead log so /metrics
+// exports the durability counters and /wal renders the segment table.
+func (s *Server) SetWAL(l *wal.Log) { s.wal = l }
+
+// SetSaver registers the snapshot saver so /metrics exports the
+// store_save_* counters.
+func (s *Server) SetSaver(sv *store.Saver) { s.saver = sv }
 
 var digestTmpl = template.Must(template.New("digest").Parse(`<!DOCTYPE html>
 <html><head><title>Quarantine digest — {{.User}}</title></head><body>
@@ -94,6 +107,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/reputation", s.handleReputation)
 	mux.HandleFunc("/overload", s.handleOverload)
+	mux.HandleFunc("/wal", s.handleWAL)
 	return mux
 }
 
@@ -235,6 +249,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		fmt.Fprintf(w, "admission_draining %d\n", draining)
 	}
+	if s.wal != nil {
+		wm := s.wal.Metrics()
+		fmt.Fprintf(w, "wal_appends_total %d\n", wm.Appends)
+		fmt.Fprintf(w, "wal_fsyncs_total %d\n", wm.Fsyncs)
+		fmt.Fprintf(w, "wal_bytes_total %d\n", wm.Bytes)
+		fmt.Fprintf(w, "wal_replayed_records %d\n", wm.Replayed)
+		fmt.Fprintf(w, "wal_compactions_total %d\n", wm.Compactions)
+		fmt.Fprintf(w, "wal_dropped_appends %d\n", wm.DroppedAppends)
+		fmt.Fprintf(w, "wal_fsync_errors %d\n", wm.FsyncErrors)
+		fmt.Fprintf(w, "wal_last_lsn %d\n", wm.LastLSN)
+		fmt.Fprintf(w, "wal_durable_lsn %d\n", wm.DurableLSN)
+		fmt.Fprintf(w, "wal_segments %d\n", wm.Segments)
+		fmt.Fprintf(w, "wal_pending_bytes %d\n", wm.PendingBytes)
+	}
+	if s.saver != nil {
+		st := s.saver.Stats()
+		fmt.Fprintf(w, "store_save_attempts %d\n", st.Attempts)
+		fmt.Fprintf(w, "store_save_failed %d\n", st.Failed)
+		fmt.Fprintf(w, "store_save_last_duration_seconds %.6f\n", st.LastDuration.Seconds())
+		if !st.LastSuccess.IsZero() {
+			fmt.Fprintf(w, "store_save_last_success_unix %d\n", st.LastSuccess.Unix())
+		}
+	}
 	// Process-level contention counters: the cumulative time goroutines
 	// have spent blocked on mutexes is the live-deployment check that the
 	// engine's hot path stays contention-free (near-zero growth under
@@ -301,6 +338,49 @@ func (s *Server) handleOverload(w http.ResponseWriter, r *http.Request) {
 		"Sheds":     sheds,
 		"P50":       m.DelayQuantile(0.50).String(),
 		"P99":       m.DelayQuantile(0.99).String(),
+	})
+}
+
+var walTmpl = template.Must(template.New("wal").Parse(`<!DOCTYPE html>
+<html><head><title>Write-ahead log — {{.Company}}</title></head><body>
+<h1>Write-ahead log</h1>
+<table border="1" cellpadding="4">
+<tr><th>last LSN (appended)</th><td>{{.M.LastLSN}}</td></tr>
+<tr><th>durable LSN (fsynced)</th><td>{{.M.DurableLSN}}</td></tr>
+<tr><th>appends</th><td>{{.M.Appends}} ({{.M.DroppedAppends}} dropped by fault injection)</td></tr>
+<tr><th>fsyncs</th><td>{{.M.Fsyncs}} ({{.M.FsyncErrors}} errors)</td></tr>
+<tr><th>bytes written</th><td>{{.M.Bytes}}</td></tr>
+<tr><th>pending bytes</th><td>{{.M.PendingBytes}}</td></tr>
+<tr><th>replayed at boot</th><td>{{.M.Replayed}} record(s)</td></tr>
+<tr><th>compactions</th><td>{{.M.Compactions}}</td></tr>
+</table>
+<h2>Segments ({{len .Segments}})</h2>
+<table border="1" cellpadding="4">
+<tr><th>file</th><th>first LSN</th><th>bytes</th><th></th></tr>
+{{range .Segments}}<tr><td>{{.Name}}</td><td>{{.FirstLSN}}</td><td>{{.Bytes}}</td><td>{{if .Active}}active{{else}}sealed{{end}}</td></tr>
+{{end}}</table>
+<p>Group commit batches concurrent appends into one fsync; a record is
+acknowledged durable only once its LSN is at or below the durable
+watermark. Sealed segments wholly covered by the latest snapshot are
+deleted at compaction.</p>
+</body></html>
+`))
+
+// handleWAL renders the write-ahead log's watermarks and segment table.
+func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.wal == nil {
+		http.Error(w, "no write-ahead log configured", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = walTmpl.Execute(w, map[string]interface{}{
+		"Company":  s.engine.Name(),
+		"M":        s.wal.Metrics(),
+		"Segments": s.wal.Segments(),
 	})
 }
 

@@ -22,6 +22,8 @@
 //	store           durable-state snapshot writes
 //	reputation      sender-reputation store lookups
 //	surge           per-message engine service latency (overload/surge runs)
+//	wal-append      write-ahead-log record appends (internal/wal)
+//	wal-fsync       write-ahead-log group-commit fsyncs (durability stalls)
 //
 // Unknown targets are rejected at plan load: Validate checks every
 // rule's target against this list (plus "rbl:<name>" and prefix
@@ -172,6 +174,7 @@ type Plan struct {
 // a trailing '*' wildcard is checked against these prefixes.
 var validTargets = []string{
 	"dns", "av", "smarthost", "smarthost-dial", "store", "reputation", "surge",
+	"wal-append", "wal-fsync",
 }
 
 // validTarget reports whether a rule's target can ever match a real
@@ -427,6 +430,24 @@ func (s *Set) RenderCounts() string {
 		fmt.Fprintf(&b, "%-28s %d", k, counts[k])
 	}
 	return b.String()
+}
+
+// TornWrite models what a crash leaves of an un-synced write: an
+// arbitrary prefix of b survives (possibly none, possibly all), and the
+// last surviving byte is sometimes corrupted — the sector that was
+// mid-flight when power went. The WAL's replay must treat any such tail
+// as "truncate here and boot" (checked by experiments.CrashRestart and
+// the wal torn-tail fuzz test). The input is never modified.
+func TornWrite(rng *rand.Rand, b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	n := rng.Intn(len(b) + 1)
+	out := append([]byte(nil), b[:n]...)
+	if n > 0 && rng.Intn(4) == 0 {
+		out[n-1] ^= byte(1 + rng.Intn(255))
+	}
+	return out
 }
 
 // DefaultChaosPlan is the canned plan used by the chaos example and the

@@ -195,9 +195,13 @@ func (c Config) withDefaults() Config {
 
 // entry is one key's decayed counter vector. counts are normalised to
 // `last`: reading at time t scales them by 2^(-(t-last)/halfLife).
+// lsn is the WAL sequence number of the latest observation folded in
+// (zero when no journal is attached); replay uses it to skip records
+// whose effect is already present.
 type entry struct {
 	counts [nOutcomes]float64
 	last   time.Time
+	lsn    uint64
 }
 
 // decayTo folds elapsed time into the counters.
@@ -239,6 +243,16 @@ func (e *entry) score() float64 {
 	return s / (e.mass() + 2)
 }
 
+// scoredAt evaluates the entry at `now` without mutating it: the value
+// receiver copies the counter vector, the copy decays, the original is
+// untouched. Read paths (Lookup, TopSenders) must stay pure so stored
+// bits are exactly the fold of the recorded observation sequence — the
+// invariant the WAL crash-recovery experiment checks byte-for-byte.
+func (e entry) scoredAt(now time.Time, halfLife time.Duration) (score, mass float64) {
+	(&e).decayTo(now, halfLife)
+	return e.score(), e.mass()
+}
+
 // shard is one lock stripe.
 type shard struct {
 	mu      sync.Mutex
@@ -253,6 +267,13 @@ type Store struct {
 
 	shards []shard
 	mask   uint32
+
+	// walMu serialises (journal append, shard apply) pairs and Export
+	// when a change journal is attached, so per-entry LSNs are applied
+	// in order and a snapshot never misses a journalled observation.
+	// Without a journal the hot path never touches it.
+	walMu   sync.Mutex
+	journal func(sender mail.Address, ip string, o Outcome, at time.Time) uint64
 
 	records       atomic.Int64
 	lookups       atomic.Int64
@@ -371,19 +392,71 @@ func (s *Store) Record(sender mail.Address, ip string, o Outcome) {
 		}
 	}
 	now := s.clk.Now()
+	if s.journal != nil {
+		// Journal first (the append assigns the LSN), then apply, with
+		// the pair serialised so shard state never lags a smaller LSN
+		// behind a larger one and Export sees every journalled record.
+		s.walMu.Lock()
+		lsn := s.journal(sender, ip, o, now)
+		s.apply(keys[:n], o, now, lsn)
+		s.walMu.Unlock()
+	} else {
+		s.apply(keys[:n], o, now, 0)
+	}
+	s.records.Add(1)
+}
+
+// SetJournal installs the change-journal hook. The hook appends one
+// observation record and returns its LSN (or zero if the append was
+// dropped). It must be installed before the store sees concurrent use
+// and must not call back into the store.
+func (s *Store) SetJournal(fn func(sender mail.Address, ip string, o Outcome, at time.Time) uint64) {
+	s.journal = fn
+}
+
+// apply folds one observation into the owning shards. lsn is zero when
+// no journal is attached.
+func (s *Store) apply(keys []repKey, o Outcome, at time.Time, lsn uint64) {
+	for _, key := range keys {
+		sh := s.shardFor(key)
+		sh.mu.Lock()
+		e := sh.entries[key]
+		if e == nil {
+			e = &entry{last: at}
+			sh.entries[key] = e
+		}
+		e.decayTo(at, s.cfg.HalfLife)
+		e.counts[o]++
+		if lsn > e.lsn {
+			e.lsn = lsn
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Apply re-applies a journalled observation during WAL replay. The
+// per-entry LSN guard makes it idempotent: a record whose effect is
+// already in the snapshot (entry.lsn >= record LSN) is skipped, so
+// replaying any in-order suffix of the journal converges to the exact
+// live-store bits.
+func (s *Store) Apply(sender mail.Address, ip string, o Outcome, at time.Time, lsn uint64) {
+	var keys [3]repKey
+	n := keysFor(sender, ip, &keys)
 	for _, key := range keys[:n] {
 		sh := s.shardFor(key)
 		sh.mu.Lock()
 		e := sh.entries[key]
 		if e == nil {
-			e = &entry{last: now}
+			e = &entry{last: at}
 			sh.entries[key] = e
 		}
-		e.decayTo(now, s.cfg.HalfLife)
-		e.counts[o]++
+		if lsn > e.lsn {
+			e.decayTo(at, s.cfg.HalfLife)
+			e.counts[o]++
+			e.lsn = lsn
+		}
 		sh.mu.Unlock()
 	}
-	s.records.Add(1)
 }
 
 // KeyScore is one key's contribution to a verdict.
@@ -442,8 +515,8 @@ func (s *Store) verdict(sender mail.Address, ip string) Verdict {
 		var ks KeyScore
 		found := false
 		if e != nil {
-			e.decayTo(now, s.cfg.HalfLife)
-			ks = KeyScore{Key: key.String(), Score: e.score(), Mass: e.mass()}
+			score, mass := e.scoredAt(now, s.cfg.HalfLife)
+			ks = KeyScore{Key: key.String(), Score: score, Mass: mass}
 			found = true
 		}
 		sh.mu.Unlock()
@@ -526,8 +599,8 @@ func (s *Store) TopSenders(band Band, k int) []EntrySummary {
 			if key.kind != 'a' {
 				continue
 			}
-			e.decayTo(now, s.cfg.HalfLife)
-			sum := EntrySummary{Key: key.local + "@" + key.name, Score: e.score(), Mass: e.mass()}
+			score, mass := e.scoredAt(now, s.cfg.HalfLife)
+			sum := EntrySummary{Key: key.local + "@" + key.name, Score: score, Mass: mass}
 			switch {
 			case sum.Mass < s.cfg.MinObservations:
 				sum.Band = Neutral
@@ -563,16 +636,26 @@ type ExportedEntry struct {
 	Key    string             `json:"key"`
 	Counts [nOutcomes]float64 `json:"counts"`
 	Last   time.Time          `json:"last"`
+	// LSN is the WAL sequence number of the newest observation folded
+	// into the counters (zero without a journal); replay after a crash
+	// skips records already covered by it.
+	LSN uint64 `json:"lsn,omitempty"`
 }
 
 // Export snapshots every entry, sorted by key for deterministic output.
+// With a journal attached the export is serialised against Record, so
+// the snapshot reflects a clean prefix of the observation log.
 func (s *Store) Export() []ExportedEntry {
+	if s.journal != nil {
+		s.walMu.Lock()
+		defer s.walMu.Unlock()
+	}
 	var out []ExportedEntry
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		for key, e := range sh.entries {
-			out = append(out, ExportedEntry{Key: key.String(), Counts: e.counts, Last: e.last})
+			out = append(out, ExportedEntry{Key: key.String(), Counts: e.counts, Last: e.last, LSN: e.lsn})
 		}
 		sh.mu.Unlock()
 	}
@@ -591,7 +674,7 @@ func (s *Store) Import(entries []ExportedEntry) {
 		}
 		sh := s.shardFor(key)
 		sh.mu.Lock()
-		sh.entries[key] = &entry{counts: ee.Counts, last: ee.Last}
+		sh.entries[key] = &entry{counts: ee.Counts, last: ee.Last, lsn: ee.LSN}
 		sh.mu.Unlock()
 	}
 }

@@ -5,6 +5,12 @@
 // written atomically (temp file + rename) so a crash mid-save never
 // corrupts the previous state.
 //
+// Snapshots pair with the write-ahead log (internal/wal): a snapshot
+// records the WAL cut it covers (WalLSN), Recover loads the newest
+// snapshot and replays the WAL suffix on top, and compaction deletes
+// sealed segments wholly below the cut. See DESIGN.md's persistence
+// section for the recovery invariants.
+//
 // Quarantined messages and outstanding challenges are deliberately NOT
 // persisted: they are 30-day transient state, and the studied product's
 // failure mode (losing in-flight challenges on failover) is survivable —
@@ -23,12 +29,27 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/greylist"
 	"repro/internal/reputation"
 	"repro/internal/whitelist"
 )
 
 // FormatVersion identifies the snapshot schema.
 const FormatVersion = 1
+
+// maxSnapshotBytes caps how much of a snapshot file the decoder will
+// read: a snapshot is operator-supplied input, and a corrupt or hostile
+// length must not balloon into an unbounded allocation. 256 MiB is two
+// orders of magnitude above the largest observed installation state.
+var maxSnapshotBytes int64 = 256 << 20
+
+// Stores bundles the durable state of one installation. Any field may
+// be nil when the corresponding subsystem is not wired.
+type Stores struct {
+	Whitelist  *whitelist.Store
+	Reputation *reputation.Store
+	Greylist   *greylist.Store
+}
 
 // Snapshot is the serialised durable state of one installation.
 type Snapshot struct {
@@ -41,19 +62,32 @@ type Snapshot struct {
 	// store is wired). Counters round-trip through JSON bit-for-bit, so
 	// a restore reproduces every score exactly.
 	Reputation []reputation.ExportedEntry `json:"reputation,omitempty"`
+	// Greylist carries the greylist tuple table.
+	Greylist []greylist.ExportedTuple `json:"greylist,omitempty"`
+	// WalLSN is the write-ahead-log cut this snapshot covers: every
+	// journalled mutation with LSN <= WalLSN is folded into the exported
+	// state. Zero when no WAL is attached.
+	WalLSN uint64 `json:"wal_lsn,omitempty"`
 }
 
-// Save writes a snapshot of the store to w. rep may be nil when the
-// installation runs without a reputation store.
-func Save(w io.Writer, name string, wl *whitelist.Store, rep *reputation.Store, now time.Time) error {
+// Save writes a snapshot of the stores to w. walLSN is the WAL cut the
+// caller sampled BEFORE exporting (see Saver.Save); pass 0 without a
+// WAL.
+func Save(w io.Writer, name string, st Stores, walLSN uint64, now time.Time) error {
 	snap := Snapshot{
 		Version: FormatVersion,
 		Name:    name,
 		SavedAt: now.UTC(),
-		Lists:   wl.Export(),
+		WalLSN:  walLSN,
 	}
-	if rep != nil {
-		snap.Reputation = rep.Export()
+	if st.Whitelist != nil {
+		snap.Lists = st.Whitelist.Export()
+	}
+	if st.Reputation != nil {
+		snap.Reputation = st.Reputation.Export()
+	}
+	if st.Greylist != nil {
+		snap.Greylist = st.Greylist.Export()
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -63,21 +97,32 @@ func Save(w io.Writer, name string, wl *whitelist.Store, rep *reputation.Store, 
 	return nil
 }
 
-// Load reads a snapshot from r and merges it into wl and (when both
-// the snapshot and the caller have one) the reputation store.
-func Load(r io.Reader, wl *whitelist.Store, rep *reputation.Store) (*Snapshot, error) {
+// Load reads a snapshot from r and merges it into the stores. Snapshots
+// from a newer build (Version > FormatVersion) are rejected with a
+// descriptive error rather than misread, and the reader is capped at
+// maxSnapshotBytes so corrupt input cannot trigger unbounded reads.
+func Load(r io.Reader, st Stores) (*Snapshot, error) {
 	var snap Snapshot
-	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+	if err := json.NewDecoder(io.LimitReader(r, maxSnapshotBytes)).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("store: decode: %w", err)
 	}
-	if snap.Version != FormatVersion {
-		return nil, fmt.Errorf("store: unsupported snapshot version %d", snap.Version)
+	if snap.Version > FormatVersion {
+		return nil, fmt.Errorf("store: snapshot format version %d is newer than this build supports (max %d); refusing to load it partially — upgrade the binary or restore an older snapshot",
+			snap.Version, FormatVersion)
 	}
-	if err := wl.Import(snap.Lists); err != nil {
-		return nil, err
+	if snap.Version < 1 {
+		return nil, fmt.Errorf("store: invalid snapshot version %d", snap.Version)
 	}
-	if rep != nil && len(snap.Reputation) > 0 {
-		rep.Import(snap.Reputation)
+	if st.Whitelist != nil {
+		if err := st.Whitelist.Import(snap.Lists); err != nil {
+			return nil, err
+		}
+	}
+	if st.Reputation != nil && len(snap.Reputation) > 0 {
+		st.Reputation.Import(snap.Reputation)
+	}
+	if st.Greylist != nil && len(snap.Greylist) > 0 {
+		st.Greylist.Import(snap.Greylist)
 	}
 	return &snap, nil
 }
@@ -93,7 +138,7 @@ func Load(r io.Reader, wl *whitelist.Store, rep *reputation.Store) (*Snapshot, e
 // immediately after os.Rename could otherwise roll the directory back
 // to the old entry — or to none — losing the snapshot the caller was
 // just told is safe. The directory fsync pins the rename itself.
-func SaveFile(path, name string, wl *whitelist.Store, rep *reputation.Store, now time.Time) error {
+func SaveFile(path, name string, st Stores, walLSN uint64, now time.Time) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".crstate-*")
 	if err != nil {
@@ -102,7 +147,7 @@ func SaveFile(path, name string, wl *whitelist.Store, rep *reputation.Store, now
 	tmpName := tmp.Name()
 	defer os.Remove(tmpName) // no-op after successful rename
 
-	if err := Save(tmp, name, wl, rep, now); err != nil {
+	if err := Save(tmp, name, st, walLSN, now); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -146,14 +191,16 @@ type Saver struct {
 	// Injector is an optional fault source for the save path.
 	Injector faults.Injector
 
-	mu       sync.Mutex
-	attempts int64
-	failed   int64
+	mu           sync.Mutex
+	attempts     int64
+	failed       int64
+	lastDuration time.Duration
+	lastSuccess  time.Time
 }
 
-// Save writes one snapshot, consulting the injector first. rep may be
-// nil.
-func (s *Saver) Save(wl *whitelist.Store, rep *reputation.Store, now time.Time) error {
+// Save writes one snapshot, consulting the injector first. walLSN is
+// the WAL cut sampled before this call (0 without a WAL).
+func (s *Saver) Save(st Stores, walLSN uint64, now time.Time) error {
 	s.mu.Lock()
 	s.attempts++
 	inj := s.Injector
@@ -166,25 +213,47 @@ func (s *Saver) Save(wl *whitelist.Store, rep *reputation.Store, now time.Time) 
 			return fmt.Errorf("store: save %s: %w", s.Path, d.Err)
 		}
 	}
-	if err := SaveFile(s.Path, s.Name, wl, rep, now); err != nil {
+	start := time.Now()
+	if err := SaveFile(s.Path, s.Name, st, walLSN, now); err != nil {
 		s.mu.Lock()
 		s.failed++
 		s.mu.Unlock()
 		return err
 	}
+	s.mu.Lock()
+	s.lastDuration = time.Since(start)
+	s.lastSuccess = now
+	s.mu.Unlock()
 	return nil
 }
 
-// Stats returns how many saves were attempted and how many failed.
-func (s *Saver) Stats() (attempts, failed int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.attempts, s.failed
+// SaverStats is an operational snapshot of a Saver.
+type SaverStats struct {
+	Attempts int64
+	Failed   int64
+	// LastDuration is how long the most recent successful save took
+	// (wall clock, zero until one succeeds).
+	LastDuration time.Duration
+	// LastSuccess is the state timestamp of the most recent successful
+	// save.
+	LastSuccess time.Time
 }
 
-// LoadFile reads a snapshot file into wl. A missing file is not an
-// error: it returns (nil, nil) so a first boot starts empty.
-func LoadFile(path string, wl *whitelist.Store, rep *reputation.Store) (*Snapshot, error) {
+// Stats returns the save counters and last-success timing.
+func (s *Saver) Stats() SaverStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SaverStats{
+		Attempts:     s.attempts,
+		Failed:       s.failed,
+		LastDuration: s.lastDuration,
+		LastSuccess:  s.lastSuccess,
+	}
+}
+
+// LoadFile reads a snapshot file into the stores. A missing file is not
+// an error: it returns (nil, nil) so a first boot starts empty.
+func LoadFile(path string, st Stores) (*Snapshot, error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		return nil, nil
@@ -193,5 +262,5 @@ func LoadFile(path string, wl *whitelist.Store, rep *reputation.Store) (*Snapsho
 		return nil, fmt.Errorf("store: open: %w", err)
 	}
 	defer f.Close()
-	return Load(f, wl, rep)
+	return Load(f, st)
 }

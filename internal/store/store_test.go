@@ -34,12 +34,12 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	src := populated(clk)
 
 	var sb strings.Builder
-	if err := Save(&sb, "corp", src, nil, clk.Now()); err != nil {
+	if err := Save(&sb, "corp", Stores{Whitelist: src}, 0, clk.Now()); err != nil {
 		t.Fatal(err)
 	}
 
 	dst := whitelist.NewStore(clk)
-	snap, err := Load(strings.NewReader(sb.String()), dst, nil)
+	snap, err := Load(strings.NewReader(sb.String()), Stores{Whitelist: dst})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,20 +65,39 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
-func TestLoadRejectsBadVersion(t *testing.T) {
+func TestLoadRejectsNewerVersion(t *testing.T) {
 	clk := clock.NewSim(t0)
 	wl := whitelist.NewStore(clk)
-	_, err := Load(strings.NewReader(`{"version": 99, "lists": []}`), wl, nil)
-	if err == nil || !strings.Contains(err.Error(), "version") {
-		t.Fatalf("err = %v", err)
+	_, err := Load(strings.NewReader(`{"version": 99, "lists": []}`), Stores{Whitelist: wl})
+	if err == nil || !strings.Contains(err.Error(), "newer than this build") {
+		t.Fatalf("err = %v, want descriptive newer-version rejection", err)
+	}
+	if _, err := Load(strings.NewReader(`{"version": 0, "lists": []}`), Stores{Whitelist: wl}); err == nil {
+		t.Fatal("version 0 accepted")
 	}
 }
 
 func TestLoadRejectsGarbage(t *testing.T) {
 	clk := clock.NewSim(t0)
 	wl := whitelist.NewStore(clk)
-	if _, err := Load(strings.NewReader("not json"), wl, nil); err == nil {
+	if _, err := Load(strings.NewReader("not json"), Stores{Whitelist: wl}); err == nil {
 		t.Fatal("garbage accepted")
+	}
+}
+
+func TestLoadCapsInputSize(t *testing.T) {
+	old := maxSnapshotBytes
+	maxSnapshotBytes = 64
+	defer func() { maxSnapshotBytes = old }()
+	clk := clock.NewSim(t0)
+	src := populated(clk)
+	var sb strings.Builder
+	if err := Save(&sb, "corp", Stores{Whitelist: src}, 0, clk.Now()); err != nil {
+		t.Fatal(err)
+	}
+	dst := whitelist.NewStore(clk)
+	if _, err := Load(strings.NewReader(sb.String()), Stores{Whitelist: dst}); err == nil {
+		t.Fatal("oversized snapshot accepted past the read cap")
 	}
 }
 
@@ -86,14 +105,14 @@ func TestImportIsMergeNotReplace(t *testing.T) {
 	clk := clock.NewSim(t0)
 	src := populated(clk)
 	var sb strings.Builder
-	if err := Save(&sb, "corp", src, nil, clk.Now()); err != nil {
+	if err := Save(&sb, "corp", Stores{Whitelist: src}, 0, clk.Now()); err != nil {
 		t.Fatal(err)
 	}
 
 	dst := whitelist.NewStore(clk)
 	pre := mail.MustParseAddress("pre@existing.example")
 	dst.AddWhite(bob, pre, whitelist.SourceManual)
-	if _, err := Load(strings.NewReader(sb.String()), dst, nil); err != nil {
+	if _, err := Load(strings.NewReader(sb.String()), Stores{Whitelist: dst}); err != nil {
 		t.Fatal(err)
 	}
 	if !dst.IsWhite(bob, pre) {
@@ -110,7 +129,7 @@ func TestSaveFileLoadFile(t *testing.T) {
 
 	clk := clock.NewSim(t0)
 	src := populated(clk)
-	if err := SaveFile(path, "corp", src, nil, clk.Now()); err != nil {
+	if err := SaveFile(path, "corp", Stores{Whitelist: src}, 0, clk.Now()); err != nil {
 		t.Fatal(err)
 	}
 	// No stray temp files.
@@ -120,7 +139,7 @@ func TestSaveFileLoadFile(t *testing.T) {
 	}
 
 	dst := whitelist.NewStore(clk)
-	snap, err := LoadFile(path, dst, nil)
+	snap, err := LoadFile(path, Stores{Whitelist: dst})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,13 +164,13 @@ func TestReputationSurvivesRestart(t *testing.T) {
 	}
 	rep.Record(mail.MustParseAddress("spam@junk.example"), "100.64.0.1", reputation.RBLHit)
 
-	if err := SaveFile(path, "corp", wl, rep, clk.Now()); err != nil {
+	if err := SaveFile(path, "corp", Stores{Whitelist: wl, Reputation: rep}, 0, clk.Now()); err != nil {
 		t.Fatal(err)
 	}
 	// "Restart": fresh stores, restored from disk.
 	wl2 := whitelist.NewStore(clk)
 	rep2 := reputation.NewStore(reputation.DefaultConfig(), clk)
-	snap, err := LoadFile(path, wl2, rep2)
+	snap, err := LoadFile(path, Stores{Whitelist: wl2, Reputation: rep2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +192,7 @@ func TestLoadOldSnapshotWithoutReputation(t *testing.T) {
 	clk := clock.NewSim(t0)
 	wl := whitelist.NewStore(clk)
 	rep := reputation.NewStore(reputation.DefaultConfig(), clk)
-	snap, err := Load(strings.NewReader(`{"version":1,"name":"old","lists":[]}`), wl, rep)
+	snap, err := Load(strings.NewReader(`{"version":1,"name":"old","lists":[]}`), Stores{Whitelist: wl, Reputation: rep})
 	if err != nil || snap.Name != "old" {
 		t.Fatalf("old snapshot rejected: snap=%+v err=%v", snap, err)
 	}
@@ -185,7 +204,7 @@ func TestLoadOldSnapshotWithoutReputation(t *testing.T) {
 func TestLoadFileMissingIsFirstBoot(t *testing.T) {
 	clk := clock.NewSim(t0)
 	wl := whitelist.NewStore(clk)
-	snap, err := LoadFile(filepath.Join(t.TempDir(), "nope.json"), wl, nil)
+	snap, err := LoadFile(filepath.Join(t.TempDir(), "nope.json"), Stores{Whitelist: wl})
 	if err != nil || snap != nil {
 		t.Fatalf("missing file: snap=%v err=%v", snap, err)
 	}
@@ -198,15 +217,15 @@ func TestSaveFileOverwritesAtomically(t *testing.T) {
 
 	first := whitelist.NewStore(clk)
 	first.AddWhite(bob, mail.MustParseAddress("v1@example.com"), whitelist.SourceManual)
-	if err := SaveFile(path, "corp", first, nil, clk.Now()); err != nil {
+	if err := SaveFile(path, "corp", Stores{Whitelist: first}, 0, clk.Now()); err != nil {
 		t.Fatal(err)
 	}
 	second := populated(clk)
-	if err := SaveFile(path, "corp", second, nil, clk.Now()); err != nil {
+	if err := SaveFile(path, "corp", Stores{Whitelist: second}, 0, clk.Now()); err != nil {
 		t.Fatal(err)
 	}
 	dst := whitelist.NewStore(clk)
-	if _, err := LoadFile(path, dst, nil); err != nil {
+	if _, err := LoadFile(path, Stores{Whitelist: dst}); err != nil {
 		t.Fatal(err)
 	}
 	if dst.IsWhite(bob, mail.MustParseAddress("v1@example.com")) {
@@ -214,5 +233,36 @@ func TestSaveFileOverwritesAtomically(t *testing.T) {
 	}
 	if !dst.IsWhite(bob, mail.MustParseAddress("alice@example.com")) {
 		t.Fatal("new snapshot missing")
+	}
+}
+
+func TestSaverRecordsDuration(t *testing.T) {
+	clk := clock.NewSim(t0)
+	wl := populated(clk)
+	s := &Saver{Path: filepath.Join(t.TempDir(), "state.json"), Name: "corp"}
+	if st := s.Stats(); st.LastDuration != 0 || !st.LastSuccess.IsZero() {
+		t.Fatalf("fresh saver stats = %+v", st)
+	}
+	if err := s.Save(Stores{Whitelist: wl}, 0, clk.Now()); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Attempts != 1 || st.Failed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.LastDuration <= 0 {
+		t.Fatalf("LastDuration not recorded: %+v", st)
+	}
+	if !st.LastSuccess.Equal(clk.Now()) {
+		t.Fatalf("LastSuccess = %v, want %v", st.LastSuccess, clk.Now())
+	}
+
+	// A failed save bumps Failed but leaves the last-success marks.
+	bad := &Saver{Path: filepath.Join(t.TempDir(), "no", "such", "dir", "x.json"), Name: "corp"}
+	if err := bad.Save(Stores{Whitelist: wl}, 0, clk.Now()); err == nil {
+		t.Fatal("save into missing directory succeeded")
+	}
+	if st := bad.Stats(); st.Attempts != 1 || st.Failed != 1 || st.LastDuration != 0 {
+		t.Fatalf("failed-save stats = %+v", st)
 	}
 }

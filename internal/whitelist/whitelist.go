@@ -79,14 +79,48 @@ func newList() *List {
 	return &List{entries: make(map[mail.Address]Entry)}
 }
 
+// MutOp identifies the kind of list mutation carried by a Mutation.
+type MutOp int
+
+// List mutation kinds, journalled to the write-ahead log.
+const (
+	MutAddWhite MutOp = iota
+	MutAddBlack
+	MutRemoveWhite
+)
+
+// String returns a short label for the mutation kind.
+func (o MutOp) String() string {
+	switch o {
+	case MutAddWhite:
+		return "add-white"
+	case MutAddBlack:
+		return "add-black"
+	case MutRemoveWhite:
+		return "remove-white"
+	default:
+		return "unknown"
+	}
+}
+
+// Mutation is one state change to a user's lists, as handed to the
+// change journal. For removals only Entry.Addr and Entry.Added (the
+// removal time) are meaningful.
+type Mutation struct {
+	Op    MutOp
+	User  mail.Address
+	Entry Entry
+}
+
 // Store holds the white- and blacklists of every user of one company's
 // installation. It is safe for concurrent use.
 type Store struct {
 	clk clock.Clock
 
-	mu    sync.RWMutex
-	white map[mail.Address]*List // by canonical user address
-	black map[mail.Address]*List
+	mu      sync.RWMutex
+	white   map[mail.Address]*List // by canonical user address
+	black   map[mail.Address]*List
+	journal func(Mutation)
 }
 
 // NewStore returns an empty store using clk for entry timestamps.
@@ -95,6 +129,45 @@ func NewStore(clk clock.Clock) *Store {
 		clk:   clk,
 		white: make(map[mail.Address]*List),
 		black: make(map[mail.Address]*List),
+	}
+}
+
+// SetJournal installs the change-journal hook. The hook is invoked with
+// the store lock held, once per applied mutation, in apply order; it
+// must not call back into the store. Replays via Apply and bulk Import
+// are not journalled (they reconstruct state that is already durable).
+func (s *Store) SetJournal(fn func(Mutation)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.journal = fn
+}
+
+// Apply re-applies a journalled mutation during WAL replay. Additions
+// are insert-if-absent (replaying a mutation whose effect is already in
+// the snapshot is a no-op), removals delete-if-present, so replaying any
+// in-order suffix of the mutation history is idempotent.
+func (s *Store) Apply(m Mutation) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch m.Op {
+	case MutAddWhite, MutAddBlack:
+		lists := s.white
+		if m.Op == MutAddBlack {
+			lists = s.black
+		}
+		l := s.list(lists, m.User)
+		sk := m.Entry.Addr.Canonical()
+		if _, ok := l.entries[sk]; ok {
+			return
+		}
+		l.entries[sk] = m.Entry
+		l.log = append(l.log, m.Entry)
+	case MutRemoveWhite:
+		l := s.white[m.User.Canonical()]
+		if l == nil {
+			return
+		}
+		delete(l.entries, m.Entry.Addr.Canonical())
 	}
 }
 
@@ -124,6 +197,9 @@ func (s *Store) AddWhite(user, sender mail.Address, src Source) bool {
 	e := Entry{Addr: sender, Source: src, Added: s.clk.Now()}
 	l.entries[sk] = e
 	l.log = append(l.log, e)
+	if s.journal != nil {
+		s.journal(Mutation{Op: MutAddWhite, User: user, Entry: e})
+	}
 	return true
 }
 
@@ -139,6 +215,9 @@ func (s *Store) AddBlack(user, sender mail.Address) bool {
 	e := Entry{Addr: sender, Source: SourceManual, Added: s.clk.Now()}
 	l.entries[sk] = e
 	l.log = append(l.log, e)
+	if s.journal != nil {
+		s.journal(Mutation{Op: MutAddBlack, User: user, Entry: e})
+	}
 	return true
 }
 
@@ -156,6 +235,9 @@ func (s *Store) RemoveWhite(user, sender mail.Address) bool {
 		return false
 	}
 	delete(l.entries, sk)
+	if s.journal != nil {
+		s.journal(Mutation{Op: MutRemoveWhite, User: user, Entry: Entry{Addr: sender, Added: s.clk.Now()}})
+	}
 	return true
 }
 
