@@ -51,15 +51,36 @@ func (d *Digest) Render() string {
 
 // Book records every digest generated, indexed by user and day, so the
 // Figure 10 analysis (daily pending-message counts per user) reads
-// directly from it. Safe for concurrent use.
+// directly from it. Safe for concurrent use; the history is lock-striped
+// by user key so every company lane recording its end-of-day digests in
+// the same epoch lands on a different stripe instead of one mutex.
 type Book struct {
+	stripes [bookStripes]bookStripe
+}
+
+const bookStripes = 16
+
+type bookStripe struct {
 	mu      sync.Mutex
 	history map[string][]*Digest // by user key, in generation order
 }
 
 // NewBook returns an empty digest book.
 func NewBook() *Book {
-	return &Book{history: make(map[string][]*Digest)}
+	b := &Book{}
+	for i := range b.stripes {
+		b.stripes[i].history = make(map[string][]*Digest)
+	}
+	return b
+}
+
+// stripeFor maps a user key to its stripe (FNV-1a).
+func (b *Book) stripeFor(key string) *bookStripe {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return &b.stripes[h%bookStripes]
 }
 
 // Record builds the digest for user on day from the given pending items
@@ -76,17 +97,20 @@ func (b *Book) Record(user mail.Address, day time.Time, items []Item) *Digest {
 		return sorted[i].MsgID < sorted[j].MsgID
 	})
 	d := &Digest{User: user, Date: day.Truncate(24 * time.Hour), Items: sorted}
-	b.mu.Lock()
-	b.history[user.Key()] = append(b.history[user.Key()], d)
-	b.mu.Unlock()
+	key := user.Key()
+	st := b.stripeFor(key)
+	st.mu.Lock()
+	st.history[key] = append(st.history[key], d)
+	st.mu.Unlock()
 	return d
 }
 
 // Series returns the daily pending counts for user, in order.
 func (b *Book) Series(user mail.Address) []int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	hs := b.history[user.Key()]
+	st := b.stripeFor(user.Key())
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	hs := st.history[user.Key()]
 	out := make([]int, len(hs))
 	for i, d := range hs {
 		out[i] = len(d.Items)
@@ -96,9 +120,10 @@ func (b *Book) Series(user mail.Address) []int {
 
 // Latest returns the most recent digest for user, or nil.
 func (b *Book) Latest(user mail.Address) *Digest {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	hs := b.history[user.Key()]
+	st := b.stripeFor(user.Key())
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	hs := st.history[user.Key()]
 	if len(hs) == 0 {
 		return nil
 	}
@@ -107,11 +132,14 @@ func (b *Book) Latest(user mail.Address) *Digest {
 
 // Users returns the user keys with at least one digest, sorted.
 func (b *Book) Users() []string {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	out := make([]string, 0, len(b.history))
-	for k := range b.history {
-		out = append(out, k)
+	var out []string
+	for i := range b.stripes {
+		st := &b.stripes[i]
+		st.mu.Lock()
+		for k := range st.history {
+			out = append(out, k)
+		}
+		st.mu.Unlock()
 	}
 	sort.Strings(out)
 	return out

@@ -80,12 +80,14 @@ type Options struct {
 }
 
 // entry holds one cached answer. Fields are written only by the fetching
-// goroutine while it holds mu, and are immutable once ready is set;
-// expiry replaces the entry rather than mutating it, so callers may read
-// the answer slices without holding any lock (but must not mutate them).
+// goroutine while it holds mu, and are immutable once the atomic ready
+// flag is set (the store publishes them); expiry replaces the entry
+// rather than mutating it, so a reader that observes ready may read
+// every field without holding any lock (but must not mutate the answer
+// slices).
 type entry struct {
 	mu    sync.Mutex
-	ready bool
+	ready atomic.Bool
 	neg   bool      // cached negative (uses NegTTL)
 	exp   time.Time // expiry on the virtual clock
 	err   error     // cached authoritative error (NXDOMAIN / no record)
@@ -120,10 +122,12 @@ const cacheStripes = 8
 
 // cacheShard is one lock stripe with its own generation word: stripes
 // notice a backend mutation independently, each flushing its own map on
-// first touch after the change.
+// first touch after the change. The map is read under mu.RLock on the
+// hit fast path and written under mu.Lock; gen is atomic so the fast
+// path can compare it without any lock.
 type cacheShard struct {
-	mu      sync.Mutex
-	gen     uint64
+	mu      sync.RWMutex
+	gen     atomic.Uint64
 	entries map[ckey]*entry
 }
 
@@ -161,7 +165,7 @@ func New(backend dnssim.Resolver, opts Options) *Cache {
 	}
 	for i := range c.shards {
 		c.shards[i].entries = make(map[ckey]*entry)
-		c.shards[i].gen = gen
+		c.shards[i].gen.Store(gen)
 	}
 	return c
 }
@@ -182,8 +186,8 @@ func (c *Cache) checkGenLocked(sh *cacheShard) {
 	if c.opts.Gen == nil {
 		return
 	}
-	if g := c.opts.Gen(); g != sh.gen {
-		sh.gen = g
+	if g := c.opts.Gen(); g != sh.gen.Load() {
+		sh.gen.Store(g)
 		clear(sh.entries)
 	}
 }
@@ -194,6 +198,26 @@ func (c *Cache) checkGenLocked(sh *cacheShard) {
 // its lock held, so same-key lookups queue behind the one backend call).
 func (c *Cache) do(key ckey, fetch func(*entry) error) (*entry, error) {
 	sh := c.shardFor(key)
+	// Hit fast path: a ready, unexpired entry in a generation-current
+	// shard — the overwhelmingly common case — is served under the read
+	// lock alone, so concurrent lanes resolving the same hot names never
+	// serialize. The second Gen read after the map lookup closes the
+	// race with a concurrent mutation: if the generation is still
+	// unchanged, the entry provably predates no mutation.
+	if c.opts.Gen == nil || c.opts.Gen() == sh.gen.Load() {
+		sh.mu.RLock()
+		e := sh.entries[key]
+		sh.mu.RUnlock()
+		if e != nil && e.ready.Load() &&
+			c.opts.Clock.Now().Before(e.exp) &&
+			(c.opts.Gen == nil || c.opts.Gen() == sh.gen.Load()) {
+			c.hits.Add(1)
+			if e.neg {
+				c.negHits.Add(1)
+			}
+			return e, e.err
+		}
+	}
 	for {
 		sh.mu.Lock()
 		c.checkGenLocked(sh)
@@ -224,7 +248,7 @@ func (c *Cache) do(key ckey, fetch func(*entry) error) (*entry, error) {
 				ttl = c.opts.NegTTL
 			}
 			e.exp = c.opts.Clock.Now().Add(ttl)
-			e.ready = true
+			e.ready.Store(true)
 			e.mu.Unlock()
 			return e, err
 		}
@@ -235,7 +259,7 @@ func (c *Cache) do(key ckey, fetch func(*entry) error) (*entry, error) {
 		sh.mu.Unlock()
 
 		e.mu.Lock() // blocks while a fetch for this key is in flight
-		if !e.ready {
+		if !e.ready.Load() {
 			// The fetcher hit a temporary error and unpublished the
 			// entry while we waited; retry from the top.
 			e.mu.Unlock()
@@ -273,7 +297,7 @@ func (e *entry) readyNow() bool {
 	if !e.mu.TryLock() {
 		return false
 	}
-	r := e.ready
+	r := e.ready.Load()
 	e.mu.Unlock()
 	return r
 }
@@ -413,27 +437,62 @@ func (c *Cache) Flush() {
 	}
 }
 
-// RBLCache memoizes rbl.Provider.Query answers with a TTL on the virtual
-// clock and explicit invalidation on blacklist/delist events via the
-// provider's generation counter. It satisfies the filters.RBLBackend
-// surface, so filters.NewRBL accepts it in place of the raw provider.
-type RBLCache struct {
-	p   *rbl.Provider
-	clk clock.Clock
-	ttl time.Duration
+// rblStripes is the RBL memo's lock-stripe count: concurrent lanes
+// querying different botnet IPs proceed without a cache-wide mutex.
+const rblStripes = 8
 
-	mu      sync.Mutex
-	gen     uint64
+// rblShard is one lock stripe of the RBL memo with its own generation
+// word (legacy mode flushes per stripe on first touch after a provider
+// mutation, exactly like the DNS cache's shards).
+// rblShard is one lock stripe of the RBL memo. The map is read under
+// mu.RLock on the hit fast path and written under mu.Lock; gen is
+// atomic so the legacy-mode fast path can compare it without any lock.
+type rblShard struct {
+	mu      sync.RWMutex
+	gen     atomic.Uint64
 	entries map[string]rblEntry
-	stats   Stats
+}
+
+// RBLCache memoizes rbl.Provider.Query answers. It satisfies the
+// filters.RBLBackend surface, so filters.NewRBL accepts it in place of
+// the raw provider.
+//
+// Two coherence modes:
+//
+//   - Legacy (NewRBL): entries carry a TTL on the virtual clock and every
+//     lookup compares the provider's generation counter, flushing the
+//     touched stripe on change. Right for standalone deployments
+//     (cmd/crserver) where listing mutations arrive at arbitrary times.
+//
+//   - Explicit (NewRBLExplicit): entries never expire and generation
+//     changes do not flush. The owner calls Invalidate with exactly the
+//     IPs whose answers may have changed — the fleet does this at fired
+//     epoch barriers with the sweep's delisted IPs plus the flushed trap
+//     hits. Negative entries (the ~95% of queries for never-listed IPs)
+//     therefore survive indefinitely, which is what lifts the hit rate
+//     from ~5% (generation flush + sub-epoch TTL killed every entry) to
+//     >0.9. The store-after-miss generation guard is kept as a
+//     belt-and-braces check against concurrent mutation.
+type RBLCache struct {
+	p        *rbl.Provider
+	clk      clock.Clock
+	ttl      time.Duration
+	explicit bool
+
+	shards [rblStripes]rblShard
+
+	hits    atomic.Int64
+	negHits atomic.Int64
+	misses  atomic.Int64
 }
 
 type rblEntry struct {
 	listed bool
-	exp    time.Time
+	exp    time.Time // zero in explicit mode: valid until Invalidate
 }
 
-// NewRBL returns a memoizing cache over p. ttl <= 0 selects DefaultTTL.
+// NewRBL returns a legacy-mode memoizing cache over p (TTL + generation
+// flush). ttl <= 0 selects DefaultTTL.
 func NewRBL(p *rbl.Provider, clk clock.Clock, ttl time.Duration) *RBLCache {
 	if clk == nil {
 		panic("dnscache: NewRBL requires a clock")
@@ -441,56 +500,125 @@ func NewRBL(p *rbl.Provider, clk clock.Clock, ttl time.Duration) *RBLCache {
 	if ttl <= 0 {
 		ttl = DefaultTTL
 	}
-	return &RBLCache{p: p, clk: clk, ttl: ttl, gen: p.Gen(), entries: make(map[string]rblEntry)}
+	c := &RBLCache{p: p, clk: clk, ttl: ttl}
+	gen := p.Gen()
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]rblEntry)
+		c.shards[i].gen.Store(gen)
+	}
+	return c
+}
+
+// NewRBLExplicit returns an explicit-invalidation cache over p: entries
+// live until the owner calls Invalidate (or Flush). The owner must
+// invalidate every IP whose listing state may have changed — in the
+// fleet, at every fired epoch barrier.
+func NewRBLExplicit(p *rbl.Provider, clk clock.Clock) *RBLCache {
+	c := NewRBL(p, clk, 0)
+	c.explicit = true
+	return c
 }
 
 // Name returns the underlying provider's name.
 func (c *RBLCache) Name() string { return c.p.Name() }
 
-// Query returns the memoized listing state for ip. Errors (injected
-// outages/timeouts) are never cached. A provider mutation between cache
-// consultations flushes every memo, so a fresh listing or an expired one
-// is visible on the very next query.
-func (c *RBLCache) Query(ip string) (bool, error) {
-	c.mu.Lock()
-	c.checkGenLocked()
-	if e, ok := c.entries[ip]; ok && c.clk.Now().Before(e.exp) {
-		c.stats.Hits++
-		if !e.listed {
-			c.stats.NegHits++
-		}
-		c.mu.Unlock()
-		return e.listed, nil
+// shardFor maps an IP to its stripe (FNV-1a).
+func (c *RBLCache) shardFor(ip string) *rblShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(ip); i++ {
+		h = (h ^ uint32(ip[i])) * 16777619
 	}
-	c.stats.Misses++
-	gen := c.gen
-	c.mu.Unlock()
+	return &c.shards[h%rblStripes]
+}
+
+// Query returns the memoized listing state for ip. Errors (injected
+// outages/timeouts) are never cached.
+func (c *RBLCache) Query(ip string) (bool, error) {
+	sh := c.shardFor(ip)
+	// Hit fast path: entries are immutable values replaced wholesale by
+	// Invalidate/flush, so a generation-current hit needs only the read
+	// lock and concurrent lanes querying the memo never serialize.
+	if c.explicit || c.p.Gen() == sh.gen.Load() {
+		sh.mu.RLock()
+		e, ok := sh.entries[ip]
+		sh.mu.RUnlock()
+		if ok && (c.explicit || (c.clk.Now().Before(e.exp) && c.p.Gen() == sh.gen.Load())) {
+			c.hits.Add(1)
+			if !e.listed {
+				c.negHits.Add(1)
+			}
+			return e.listed, nil
+		}
+	}
+	if !c.explicit {
+		sh.mu.Lock()
+		if g := c.p.Gen(); g != sh.gen.Load() {
+			sh.gen.Store(g)
+			clear(sh.entries)
+		}
+		sh.mu.Unlock()
+	}
+	c.misses.Add(1)
+	gen := c.p.Gen()
 
 	listed, err := c.p.Query(ip)
 	if err != nil {
 		return false, err
 	}
 
-	c.mu.Lock()
 	// Store only if the provider did not mutate while we queried;
 	// otherwise our answer may already be stale.
 	if c.p.Gen() == gen {
-		c.entries[ip] = rblEntry{listed: listed, exp: c.clk.Now().Add(c.ttl)}
+		e := rblEntry{listed: listed}
+		if !c.explicit {
+			e.exp = c.clk.Now().Add(c.ttl)
+		}
+		sh.mu.Lock()
+		sh.entries[ip] = e
+		sh.mu.Unlock()
 	}
-	c.mu.Unlock()
 	return listed, nil
 }
 
-func (c *RBLCache) checkGenLocked() {
-	if g := c.p.Gen(); g != c.gen {
-		c.gen = g
-		c.entries = make(map[string]rblEntry)
+// Invalidate drops the memo entries for the given IPs. Explicit-mode
+// owners call it with every IP whose listing state may have changed
+// since the last call; unknown IPs are no-ops, duplicates are fine.
+func (c *RBLCache) Invalidate(ips ...string) {
+	for _, ip := range ips {
+		sh := c.shardFor(ip)
+		sh.mu.Lock()
+		delete(sh.entries, ip)
+		sh.mu.Unlock()
 	}
+}
+
+// Flush drops every memo entry. Counters are preserved.
+func (c *RBLCache) Flush() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		clear(sh.entries)
+		sh.mu.Unlock()
+	}
+}
+
+// Len returns the number of live memo entries.
+func (c *RBLCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Stats returns a snapshot of the memo counters.
 func (c *RBLCache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return Stats{
+		Hits:    c.hits.Load(),
+		NegHits: c.negHits.Load(),
+		Misses:  c.misses.Load(),
+	}
 }

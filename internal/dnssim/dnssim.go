@@ -78,7 +78,13 @@ type Server struct {
 	fail    map[string]error  // injected failure per domain
 	inj     faults.Injector   // optional whole-resolver fault source
 	timeout time.Duration     // per-lookup deadline for injected latency
-	stats   Stats
+	// Query counters are atomics so lookups — reads of the zone data —
+	// can run under the read lock and concurrent lanes never serialize
+	// on the simulated nameserver.
+	queries  atomic.Int64
+	nxdomain atomic.Int64
+	timeouts atomic.Int64
+	outages  atomic.Int64
 	// gen counts zone-data mutations so caching layers (internal/dnscache)
 	// can invalidate without subscribing to every mutation site.
 	gen atomic.Uint64
@@ -143,10 +149,10 @@ func (s *Server) inject() error {
 		return nil
 	}
 	if d.Kind == faults.KindOutage {
-		s.stats.Outages++
+		s.outages.Add(1)
 		return fmt.Errorf("dnssim: nameserver unreachable: %w", d.Err)
 	}
-	s.stats.Timeouts++
+	s.timeouts.Add(1)
 	return fmt.Errorf("%w: %v", ErrTimeout, d.Err)
 }
 
@@ -233,8 +239,8 @@ func (s *Server) Resolvable(domain string) bool {
 // error so the caller can apply its degradation policy instead of
 // silently treating "DNS is down" as "domain does not exist".
 func (s *Server) ResolvableErr(domain string) (bool, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if err := s.inject(); err != nil {
 		return false, err
 	}
@@ -249,19 +255,19 @@ func (s *Server) ResolvableErr(domain string) (bool, error) {
 }
 
 func (s *Server) pre(domain string) (*zone, error) {
-	s.stats.Queries++
+	s.queries.Add(1)
 	if err := s.inject(); err != nil {
 		return nil, err
 	}
 	if err, ok := s.fail[key(domain)]; ok {
 		if errors.Is(err, ErrTimeout) {
-			s.stats.Timeouts++
+			s.timeouts.Add(1)
 		}
 		return nil, fmt.Errorf("%w (domain %s)", err, domain)
 	}
 	z := s.zones[key(domain)]
 	if z == nil {
-		s.stats.NXDomain++
+		s.nxdomain.Add(1)
 		return nil, fmt.Errorf("%w: %s", ErrNXDomain, domain)
 	}
 	return z, nil
@@ -269,8 +275,8 @@ func (s *Server) pre(domain string) (*zone, error) {
 
 // LookupA implements Resolver.
 func (s *Server) LookupA(host string) ([]string, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	z, err := s.pre(host)
 	if err != nil {
 		return nil, err
@@ -285,8 +291,8 @@ func (s *Server) LookupA(host string) ([]string, error) {
 
 // LookupMX implements Resolver.
 func (s *Server) LookupMX(domain string) ([]MX, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	z, err := s.pre(domain)
 	if err != nil {
 		return nil, err
@@ -301,15 +307,15 @@ func (s *Server) LookupMX(domain string) ([]MX, error) {
 
 // LookupPTR implements Resolver.
 func (s *Server) LookupPTR(ip string) (string, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.Queries++
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.queries.Add(1)
 	if err := s.inject(); err != nil {
 		return "", err
 	}
 	h, ok := s.ptr[ip]
 	if !ok {
-		s.stats.NXDomain++
+		s.nxdomain.Add(1)
 		return "", fmt.Errorf("%w: PTR %s", ErrNXDomain, ip)
 	}
 	return h, nil
@@ -317,8 +323,8 @@ func (s *Server) LookupPTR(ip string) (string, error) {
 
 // LookupTXT implements Resolver.
 func (s *Server) LookupTXT(domain string) ([]string, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	z, err := s.pre(domain)
 	if err != nil {
 		return nil, err
@@ -333,9 +339,12 @@ func (s *Server) LookupTXT(domain string) ([]string, error) {
 
 // Stats returns a snapshot of the query counters.
 func (s *Server) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.stats
+	return Stats{
+		Queries:  s.queries.Load(),
+		NXDomain: s.nxdomain.Load(),
+		Timeouts: s.timeouts.Load(),
+		Outages:  s.outages.Load(),
+	}
 }
 
 // Domains returns all registered domain names, sorted. Intended for

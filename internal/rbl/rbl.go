@@ -54,22 +54,26 @@ func DefaultPolicy() Policy {
 // compared against on the Query path.
 const DefaultQueryTimeout = 3 * time.Second
 
-// Provider is one simulated DNS blocklist. It is safe for concurrent use.
+// Provider is one simulated DNS blocklist. It is safe for concurrent
+// use. Lookups (IsListed, Query, History) are pure reads under an
+// RWMutex read lock; all listing-state mutations happen in ReportTrapHit,
+// AddStatic and Sweep, so concurrent readers never serialize on each
+// other — the property the fleet's parallel lanes lean on.
 type Provider struct {
 	name   string
 	policy Policy
 	clk    clock.Clock
 
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	inj      faults.Injector        // optional fault source for Query
 	hits     map[string][]time.Time // recent trap hits per IP
 	listings map[string]time.Time   // IP -> listed-until
 	manual   map[string]bool        // permanently listed (known spammers)
 	history  map[string][]Interval  // completed + open listing intervals
-	stale    int64                  // queries answered from "stale" data
-	// gen counts listing-state mutations (new listings, extensions, lazy
-	// delists, static adds, injector changes) so a memoizing lookup layer
-	// can invalidate on blacklist/delist events instead of polling.
+	stale    atomic.Int64           // queries answered from "stale" data
+	// gen counts listing-state mutations (new listings, sweeps, static
+	// adds, injector changes) so a memoizing lookup layer can invalidate
+	// on blacklist/delist events instead of polling.
 	gen atomic.Uint64
 }
 
@@ -108,9 +112,10 @@ func (p *Provider) SetInjector(inj faults.Injector) {
 }
 
 // Gen returns the listing-state generation; it increments whenever the
-// answer Query could give for some IP changes (listing, extension,
-// expiry, static add, injector swap). Cache layers compare generations
-// per lookup and flush on change.
+// answer Query could give for some IP changes (new listing, sweep,
+// static add, injector swap). Cache layers compare generations per
+// lookup (legacy mode) or use it as a store-after-miss guard (explicit
+// invalidation mode).
 func (p *Provider) Gen() uint64 { return p.gen.Load() }
 
 // Query is the fallible lookup the CR filter chain uses: it consults the
@@ -118,18 +123,16 @@ func (p *Provider) Gen() uint64 { return p.gen.Load() }
 // (always-unlisted) answer for KindStale, and the true listing state
 // otherwise.
 func (p *Provider) Query(ip string) (bool, error) {
-	p.mu.Lock()
+	p.mu.RLock()
 	inj := p.inj
-	p.mu.Unlock()
+	p.mu.RUnlock()
 	if inj != nil {
 		d := inj.Decide("rbl:"+p.name, DefaultQueryTimeout)
 		if d.Err != nil {
 			return false, fmt.Errorf("rbl: %s query: %w", p.name, d.Err)
 		}
 		if d.Kind == faults.KindStale {
-			p.mu.Lock()
-			p.stale++
-			p.mu.Unlock()
+			p.stale.Add(1)
 			return false, nil
 		}
 	}
@@ -138,11 +141,7 @@ func (p *Provider) Query(ip string) (bool, error) {
 
 // StaleAnswers returns how many queries were served from injected stale
 // data (and therefore silently answered "not listed").
-func (p *Provider) StaleAnswers() int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stale
-}
+func (p *Provider) StaleAnswers() int64 { return p.stale.Load() }
 
 // AddStatic permanently lists ip — used to seed the providers with the
 // "known spammer" population that the product's RBL filter catches.
@@ -180,44 +179,70 @@ func (p *Provider) ReportTrapHit(ip string) {
 		return
 	}
 	if len(recent) >= p.policy.HitThreshold {
+		// Re-listing over an expired-but-unswept entry: close the stale
+		// interval at its old expiry before opening a new one.
+		if until, ok := p.listings[ip]; ok && !until.After(now) {
+			p.closeIntervalLocked(ip, until)
+		}
 		p.listings[ip] = now.Add(p.policy.ListingTTL)
 		p.history[ip] = append(p.history[ip], Interval{From: now})
 		p.gen.Add(1)
 	}
 }
 
-// IsListed reports whether ip is currently listed.
+// IsListed reports whether ip is currently listed. It is a pure read: an
+// expired listing answers false immediately, and its removal (history
+// bookkeeping, generation bump) is deferred to the next Sweep — so
+// concurrent lookups share a read lock and never mutate provider state.
 func (p *Provider) IsListed(ip string) bool {
 	now := p.clk.Now()
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if p.manual[ip] {
 		return true
 	}
 	until, ok := p.listings[ip]
-	if !ok {
-		return false
-	}
-	if !until.After(now) {
-		// Expired: close the history interval lazily. The gen bump lets
-		// cache layers drop the now-stale "listed" answer for this IP;
-		// re-deriving the answer at the same virtual time is idempotent,
-		// so concurrent readers racing this delete still agree.
-		delete(p.listings, ip)
-		if h := p.history[ip]; len(h) > 0 && h[len(h)-1].Until.IsZero() {
-			h[len(h)-1].Until = until
+	return ok && until.After(now)
+}
+
+// Sweep eagerly removes every listing that has expired at now, closing
+// its history interval at the expiry time, and returns the delisted IPs
+// sorted. A single generation bump covers the whole batch, so cache
+// layers invalidate once per sweep instead of once per lazy delist. The
+// fleet calls Sweep at fired epoch barriers (while every lane is
+// parked); standalone deployments may call it from a housekeeping tick
+// or rely on the pure-read expiry in IsListed alone.
+func (p *Provider) Sweep(now time.Time) []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []string
+	for ip, until := range p.listings {
+		if !until.After(now) {
+			delete(p.listings, ip)
+			p.closeIntervalLocked(ip, until)
+			out = append(out, ip)
 		}
-		p.gen.Add(1)
-		return false
 	}
-	return true
+	if len(out) > 0 {
+		sort.Strings(out)
+		p.gen.Add(1)
+	}
+	return out
+}
+
+// closeIntervalLocked closes ip's open history interval at until.
+// Caller holds p.mu.
+func (p *Provider) closeIntervalLocked(ip string, until time.Time) {
+	if h := p.history[ip]; len(h) > 0 && h[len(h)-1].Until.IsZero() {
+		h[len(h)-1].Until = until
+	}
 }
 
 // History returns the listing intervals recorded for ip, closing any
 // still-open interval at the current listed-until time for reporting.
 func (p *Provider) History(ip string) []Interval {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	h := p.history[ip]
 	out := make([]Interval, len(h))
 	copy(out, h)

@@ -2,6 +2,7 @@ package rbl
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 	"testing"
 	"time"
@@ -94,7 +95,8 @@ func TestHistoryIntervals(t *testing.T) {
 	ip := "198.51.100.9"
 	p.ReportTrapHit(ip)
 	clk.Advance(11 * time.Hour)
-	p.IsListed(ip) // trigger lazy expiry
+	// The expired listing was never swept; the re-listing hit must close
+	// the stale interval itself.
 	p.ReportTrapHit(ip)
 	h := p.History(ip)
 	if len(h) != 2 {
@@ -209,6 +211,46 @@ func TestStandardProviders(t *testing.T) {
 				t.Fatal("cbl-like provider should list on first hit")
 			}
 		}
+	}
+}
+
+func TestSweep(t *testing.T) {
+	clk := clock.NewSim(t0)
+	p := NewProvider("test", Policy{HitThreshold: 1, Window: time.Hour, ListingTTL: 2 * time.Hour}, clk)
+	p.ReportTrapHit("198.51.100.2")
+	p.ReportTrapHit("198.51.100.1")
+	clk.Advance(time.Hour)
+	p.ReportTrapHit("198.51.100.3") // expires an hour after the first two
+	gen := p.Gen()
+
+	clk.Advance(90 * time.Minute)
+	// Expired but unswept: IsListed is a pure read and answers false
+	// without mutating anything.
+	if p.IsListed("198.51.100.1") {
+		t.Fatal("expired listing still listed")
+	}
+	if got := p.Gen(); got != gen {
+		t.Fatalf("pure-read IsListed bumped gen %d -> %d", gen, got)
+	}
+
+	swept := p.Sweep(clk.Now())
+	if want := []string{"198.51.100.1", "198.51.100.2"}; !slices.Equal(swept, want) {
+		t.Fatalf("swept = %v, want %v", swept, want)
+	}
+	if got := p.Gen(); got != gen+1 {
+		t.Fatalf("sweep gen = %d, want one bump over %d", got, gen)
+	}
+	if p.IsListed("198.51.100.1") || !p.IsListed("198.51.100.3") {
+		t.Fatal("sweep removed the wrong listings")
+	}
+	// The closed interval ends at the listing's expiry, not the sweep time.
+	h := p.History("198.51.100.1")
+	if len(h) != 1 || !h[0].Until.Equal(t0.Add(2*time.Hour)) {
+		t.Fatalf("history after sweep = %+v", h)
+	}
+	// Nothing left to sweep: no-op, no gen bump.
+	if again := p.Sweep(clk.Now()); len(again) != 0 || p.Gen() != gen+1 {
+		t.Fatalf("second sweep = %v gen %d", again, p.Gen())
 	}
 }
 

@@ -182,6 +182,10 @@ type Network struct {
 	rng       *rand.Rand
 	remotes   map[string]*RemoteServer
 	companies map[string]*Company
+	// sorted is the companies in name order, rebuilt on attach
+	// (copy-on-write): barrier-time iteration grabs the slice under mu
+	// and walks it lock-free instead of re-sorting per barrier.
+	sorted []*Company
 	// records are kept per company: appends for one company only ever
 	// come from that company's lane (or the single driver thread), so
 	// each slice has a deterministic order regardless of worker count.
@@ -266,6 +270,12 @@ func (n *Network) Remote(domain string) *RemoteServer {
 func (n *Network) AttachCompany(c *Company) {
 	n.mu.Lock()
 	n.companies[c.Name] = c
+	sorted := make([]*Company, 0, len(n.companies))
+	for _, cc := range n.companies {
+		sorted = append(sorted, cc)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	n.sorted = sorted
 	n.mu.Unlock()
 	c.Engine.SetChallengeSender(func(ch core.OutboundChallenge) {
 		n.SubmitChallenge(c, ch)
@@ -300,22 +310,43 @@ func (n *Network) laneCtx(c *Company) (*clock.Sim, *clock.Scheduler) {
 
 // FlushTrapHits applies the spamtrap hits buffered by every lane since
 // the last flush, in company-name-sorted order. The fleet calls it at
-// each epoch barrier, after all lanes have reached the barrier and
+// fired epoch barriers, after all lanes have reached the barrier and
 // before any lane resumes, so blocklist providers see an update order —
 // and therefore produce listing decisions — independent of worker count.
-func (n *Network) FlushTrapHits() int {
+// When onIP is non-nil it is called once per applied hit with the source
+// IP (the fleet feeds these to its RBL memo invalidation).
+func (n *Network) FlushTrapHits(onIP func(ip string)) int {
 	flushed := 0
-	for _, c := range n.Companies() {
+	for _, c := range n.companiesSorted() {
 		if c.lane == nil {
 			continue
 		}
 		for _, h := range c.lane.trapHits {
 			n.traps.Hit(h.to, h.ip)
+			if onIP != nil {
+				onIP(h.ip)
+			}
 			flushed++
 		}
 		c.lane.trapHits = c.lane.trapHits[:0]
 	}
 	return flushed
+}
+
+// StagedTrapHits reports how many trap hits are buffered on lanes,
+// waiting for the next FlushTrapHits. The fleet's sparse-barrier
+// predicate consults it at every epoch rendezvous: a non-zero count
+// means a cross-company effect is pending and the barrier must fire.
+// Callers must have synchronized with the lanes (all parked), as the
+// fleet's epoch rendezvous does.
+func (n *Network) StagedTrapHits() int {
+	staged := 0
+	for _, c := range n.companiesSorted() {
+		if c.lane != nil {
+			staged += len(c.lane.trapHits)
+		}
+	}
+	return staged
 }
 
 // Company returns the attached company by name, or nil.
@@ -325,15 +356,20 @@ func (n *Network) Company(name string) *Company {
 	return n.companies[name]
 }
 
+// companiesSorted returns the shared name-sorted slice (callers must
+// not mutate it).
+func (n *Network) companiesSorted() []*Company {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sorted
+}
+
 // Companies returns the attached companies sorted by name.
 func (n *Network) Companies() []*Company {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	out := make([]*Company, 0, len(n.companies))
-	for _, c := range n.companies {
-		out = append(out, c)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	out := make([]*Company, len(n.sorted))
+	copy(out, n.sorted)
 	return out
 }
 

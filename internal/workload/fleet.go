@@ -37,8 +37,10 @@ type Config struct {
 	// fast experiment runs; the proportions are volume-invariant).
 	ScaleVolume float64
 	// Workers is the worker-pool size for Run: companies advance in
-	// parallel, joined at hourly epoch barriers. 0 means GOMAXPROCS;
-	// 1 runs the same epoch algorithm serially. Results are identical
+	// parallel on a work-stealing lane scheduler, rendezvousing at
+	// hourly epoch edges where cross-lane barriers fire only for epochs
+	// with staged effects (see ledger.go). 0 means GOMAXPROCS; 1 runs
+	// the same epoch algorithm serially. Results are identical
 	// for every value — each company owns its clock, scheduler and RNG
 	// streams, and cross-company effects apply only at barriers in
 	// company-name order. A FaultPlan forces 1 (the injector draws from
@@ -235,11 +237,19 @@ type Fleet struct {
 	spamCamps     []*Campaign
 	newsCamps     []*Campaign
 
-	mu          sync.Mutex
+	// mu guards the merged shared state below. Lanes read it mid-epoch
+	// (laneTruth fallback) under the read lock; the only writers are the
+	// barrier merge and the day counter, which run with all lanes parked.
+	mu          sync.RWMutex
 	truth       map[string]Class
 	grayLog     map[string]GrayEntry
 	classCounts map[Class]int64
 	day         int
+
+	// ledger is the sparse-barrier / steal-scheduler bookkeeping
+	// (ledger.go): epoch, fired/skipped-barrier, steal and trap-hit
+	// counters plus the shared-clock watermark.
+	ledger syncLedger
 }
 
 // FleetStart is the simulation epoch, matching the study's first
@@ -294,7 +304,11 @@ func NewFleet(cfg Config) *Fleet {
 	if f.Injector == nil {
 		f.DNSCache = dnscache.New(f.DNS, dnscache.Options{Clock: f.Clk, Gen: f.DNS.Gen})
 		f.resolve = f.DNSCache
-		f.RBLCache = dnscache.NewRBL(f.filterProvider(), f.Clk, 0)
+		// Explicit-invalidation mode: entries live until a fired barrier
+		// invalidates exactly the IPs whose listing state changed (sweep
+		// delists + flushed trap hits, see fireBarrier). Negative entries
+		// for the never-listed majority therefore persist run-long.
+		f.RBLCache = dnscache.NewRBLExplicit(f.filterProvider(), f.Clk)
 		f.Net.SetResolvable(f.DNSCache.Resolvable)
 	}
 
@@ -312,6 +326,7 @@ const (
 	saltCampaignCovers
 	saltCampaignTargets
 	saltSurge
+	saltSteal
 )
 
 // deriveSeed hashes a base seed and salts into the seed of an
@@ -796,23 +811,23 @@ func (f *Fleet) buildCompanies() {
 
 // Day returns the current simulation day index (0-based).
 func (f *Fleet) Day() int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	return f.day
 }
 
 // Truth returns the ground-truth class of a generated message.
 func (f *Fleet) Truth(msgID string) (Class, bool) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	c, ok := f.truth[msgID]
 	return c, ok
 }
 
 // ClassCounts returns how many messages of each class were generated.
 func (f *Fleet) ClassCounts() map[Class]int64 {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	out := make(map[Class]int64, len(f.classCounts))
 	for k, v := range f.classCounts {
 		out[k] = v
@@ -823,8 +838,8 @@ func (f *Fleet) ClassCounts() map[Class]int64 {
 // GrayLog returns the per-message context captured for messages that
 // entered the gray spool, keyed by message ID.
 func (f *Fleet) GrayLog() map[string]GrayEntry {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	out := make(map[string]GrayEntry, len(f.grayLog))
 	for k, v := range f.grayLog {
 		out[k] = v

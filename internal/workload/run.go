@@ -7,7 +7,6 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -25,15 +24,41 @@ import (
 // weeding, outbound user mail, quarantine expiry) plus the 4-hourly
 // §5.1 blacklist poll.
 //
-// Companies execute on independent lanes advanced in lockstep epochs of
-// one virtual hour by a pool of Config.Workers goroutines. Every lane
-// owns its clock, scheduler and RNG streams, and all cross-company side
-// effects (spamtrap hits feeding the blocklists, checker polls) apply at
-// the epoch barrier in company-name order — so the results are
+// Companies execute on independent lanes advanced in one-hour epochs by
+// a persistent work-stealing pool of Config.Workers goroutines
+// (schedule.go). Cross-lane synchronization is *sparse*: at each epoch
+// rendezvous the effect ledger (ledger.go) decides whether any
+// cross-company effect was staged — trap hits, a due checker poll, a
+// pending shared-scheduler event — and only then does the barrier fire;
+// idle epochs are skipped with a watermark advance and the shared clock
+// stays frozen. The last epoch of every day always fires, so public
+// accessors are consistent whenever Run returns. All effects apply in
+// company-name order at deterministic virtual times, so the results are
 // bit-for-bit identical for any worker count.
 func (f *Fleet) Run(days int) {
+	if days <= 0 {
+		return
+	}
+	ls := newLaneScheduler(f, f.workers())
+	defer ls.stop()
 	for d := 0; d < days; d++ {
-		f.runOneDay()
+		dayStart := f.scheduleDay()
+		for h := 1; h <= 24; h++ {
+			epochEnd := dayStart.Add(time.Duration(h) * time.Hour)
+			ls.advance(epochEnd)
+			f.ledger.epochs.Add(1)
+			// The day's final epoch always fires: it bounds sink-buffer
+			// growth and leaves the shared clock, merged state and day
+			// counter consistent for between-Run readers.
+			if h == 24 || f.barrierDue(epochEnd) {
+				f.fireBarrier(epochEnd)
+			} else {
+				f.ledger.skipped.Add(1)
+			}
+		}
+		f.mu.Lock()
+		f.day++
+		f.mu.Unlock()
 	}
 }
 
@@ -52,8 +77,10 @@ func (f *Fleet) workers() int {
 	return max(1, min(w, len(f.lanes)))
 }
 
-// runOneDay generates and processes one simulated day.
-func (f *Fleet) runOneDay() {
+// scheduleDay queues the current day's traffic on every lane and
+// returns the day's start time. It runs between epochs, with every lane
+// parked at the previous day's final (always-fired) barrier.
+func (f *Fleet) scheduleDay() time.Time {
 	f.mu.Lock()
 	dayIdx := f.day
 	f.mu.Unlock()
@@ -94,59 +121,7 @@ func (f *Fleet) runOneDay() {
 			f.dailyChores(ln, dayIdx)
 		})
 	}
-
-	workers := f.workers()
-	for h := 1; h <= 24; h++ {
-		f.runEpoch(workers, dayStart.Add(time.Duration(h)*time.Hour))
-	}
-
-	f.mu.Lock()
-	f.day++
-	f.mu.Unlock()
-}
-
-// runEpoch advances every lane to epochEnd — in parallel when workers
-// allows — then applies the barrier work in canonical order. During the
-// epoch the shared clock stays frozen at the previous barrier, so every
-// lane reads identical shared state (blocklist listings, cache expiry,
-// injector windows) regardless of execution order.
-func (f *Fleet) runEpoch(workers int, epochEnd time.Time) {
-	if workers <= 1 {
-		for _, ln := range f.lanes {
-			ln.sched.RunUntil(epochEnd)
-		}
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(f.lanes) {
-						return
-					}
-					f.lanes[i].sched.RunUntil(epochEnd)
-				}
-			}()
-		}
-		wg.Wait()
-	}
-
-	// Barrier: all lanes have reached epochEnd and parked. Bring the
-	// shared clock up, drain any stragglers on the global scheduler,
-	// then apply cross-company effects in company-name order.
-	f.Clk.AdvanceTo(epochEnd)
-	f.Sched.RunUntil(epochEnd)
-	f.Net.FlushTrapHits()
-	if f.Cfg.CheckerPeriod > 0 {
-		if since := epochEnd.Sub(f.Start); since%f.Cfg.CheckerPeriod == 0 {
-			f.Checker.Poll(f.allOutIPs())
-		}
-	}
-	f.mergeLaneState()
-	f.flushSinks()
+	return dayStart
 }
 
 // mergeLaneState folds every lane's staged ground-truth writes (truth
@@ -183,9 +158,9 @@ func (f *Fleet) laneTruth(ln *companyLane, id string) (Class, bool) {
 	if c, ok := ln.truth[id]; ok {
 		return c, true
 	}
-	f.mu.Lock()
+	f.mu.RLock()
 	c, ok := f.truth[id]
-	f.mu.Unlock()
+	f.mu.RUnlock()
 	return c, ok
 }
 
