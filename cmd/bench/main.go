@@ -251,14 +251,32 @@ func main() {
 	workers := flag.Int("workers", 0, "single parallel worker count (overrides -sweep tail)")
 	sweep := flag.String("sweep", "1,2,4,8", "comma-separated worker counts to run")
 	shapes := flag.String("shapes", "12,48,96", "comma-separated fleet sizes to sweep (-companies overrides with a single shape)")
-	out := flag.String("out", "BENCH_fleet.json", "output file")
-	check := flag.String("check", "", "baseline BENCH_fleet.json to compare allocs/msg against (exit 1 on >10% regression)")
+	out := flag.String("out", "", "output file (default BENCH_fleet.json, or BENCH_logscan.json with -logscan)")
+	check := flag.String("check", "", "baseline report to compare allocation figures against (exit 1 on >10% regression)")
+	logscanMode := flag.Bool("logscan", false, "benchmark the parallel log scanner instead of the fleet")
+	logscanEvents := flag.Int64("logscan-events", 1_000_000, "synthetic log size for -logscan, in events")
 	doGate := flag.Bool("gate", false, "enforce scaling floors (rbl hit rate >= 0.85; speedup(w=4) >= 2.0 on 48 companies when num_cpu >= 4)")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile of the sweep to file")
 	memprofile := flag.String("memprofile", "", "write allocation profile to file after the sweep")
 	mutexprofile := flag.String("mutexprofile", "", "write mutex-contention profile to file after the sweep")
 	blockprofile := flag.String("blockprofile", "", "write blocking profile to file after the sweep")
 	flag.Parse()
+
+	if *logscanMode {
+		counts, err := parseList(*sweep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bad -sweep:", err)
+			os.Exit(2)
+		}
+		if *out == "" {
+			*out = "BENCH_logscan.json"
+		}
+		runLogscan(*seed, *logscanEvents, counts, *out, *check)
+		return
+	}
+	if *out == "" {
+		*out = "BENCH_fleet.json"
+	}
 
 	q := experiments.Quick(*seed)
 	if *days <= 0 {

@@ -1,11 +1,15 @@
 // Command logstats is the log-crawler half of the paper's methodology:
 // it parses a CR decision log (as emitted by the engines' event sink)
 // and prints the aggregated statistics — the role the authors' Python
-// scripts + Postgres played over the MTAs' daily logs.
+// scripts + Postgres played over the MTAs' daily logs. The scan itself
+// runs on the parallel zero-allocation logscan engine, so a file the
+// size of the paper's 90M-event corpus splits across every core.
 //
-//	logstats < cr.log            # aggregate an existing log
+//	logstats -f cr.log           # parallel scan of a log file
+//	logstats < cr.log            # aggregate a stream (pipe, zcat, ...)
 //	logstats -demo               # simulate a small fleet, log it, parse it
-//	logstats -per-company < cr.log
+//	logstats -per-company -f cr.log
+//	logstats -progress -f cr.log # events/sec heartbeat on stderr
 //	logstats -wal wal-0000000000000001.seg   # pretty-print a WAL segment
 package main
 
@@ -15,9 +19,11 @@ import (
 	"io"
 	"log"
 	"os"
-	"sort"
+	"runtime"
 	"strings"
+	"time"
 
+	"repro/internal/logscan"
 	"repro/internal/maillog"
 	"repro/internal/report"
 	"repro/internal/wal"
@@ -30,6 +36,9 @@ func main() {
 		perCompany = flag.Bool("per-company", false, "print one row per company")
 		seed       = flag.Int64("seed", 1, "demo fleet seed")
 		walSeg     = flag.String("wal", "", "pretty-print a write-ahead-log segment file and exit")
+		file       = flag.String("f", "", "scan this log file instead of stdin (enables range-split parallelism)")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel scan workers")
+		progress   = flag.Bool("progress", false, "print scan progress to stderr every 5s")
 	)
 	flag.Parse()
 
@@ -62,59 +71,71 @@ func main() {
 		input = strings.NewReader(sb.String())
 	}
 
-	agg, err := maillog.ParseAll(input)
+	opts := logscan.Options{Workers: *workers}
+	var stopProgress func()
+	if *progress {
+		var c logscan.Counters
+		opts.Counter = &c
+		stopProgress = startProgress(&c)
+	}
+
+	var agg *maillog.Aggregate
+	var err error
+	if *file != "" {
+		agg, err = logscan.ScanFile(*file, opts)
+	} else {
+		agg, err = logscan.Scan(input, opts)
+	}
+	if stopProgress != nil {
+		stopProgress()
+	}
 	if err != nil {
-		log.Fatalf("parse: %v", err)
+		if agg != nil && agg.Lines > 0 {
+			// Print what was scanned before the failure, then exit
+			// non-zero so pipelines notice the truncated crawl.
+			fmt.Println(report.LogSummary(agg).Render())
+			fmt.Fprintln(os.Stderr, "warning: statistics above cover only the log prefix before the error")
+		}
+		log.Fatalf("scan: %v", err)
 	}
 	if agg.Lines == 0 {
 		fmt.Fprintln(os.Stderr, "no log lines on stdin (use -demo for a synthetic run)")
 		os.Exit(1)
 	}
 
-	tot := agg.Total()
-	t := &report.Table{Title: "Log-derived statistics", Headers: []string{"Metric", "Value"}}
-	t.AddRow("Log lines", agg.Lines)
-	t.AddRow("Unparsable lines", agg.BadLines)
-	t.AddRow("Incoming messages", tot.Incoming)
-	reasons := make([]string, 0, len(tot.MTADrops))
-	for r := range tot.MTADrops {
-		reasons = append(reasons, r)
-	}
-	sort.Strings(reasons)
-	for _, r := range reasons {
-		t.AddRow("MTA drop: "+r, tot.MTADrops[r])
-	}
-	for _, s := range []string{"white", "black", "gray"} {
-		t.AddRow("Spool: "+s, tot.Spools[s])
-	}
-	filters := make([]string, 0, len(tot.FilterDrops))
-	for f := range tot.FilterDrops {
-		filters = append(filters, f)
-	}
-	sort.Strings(filters)
-	for _, f := range filters {
-		t.AddRow("Filter drop: "+f, tot.FilterDrops[f])
-	}
-	t.AddRow("Challenges sent", tot.Challenges)
-	for _, v := range []string{"whitelist", "challenge", "digest"} {
-		t.AddRow("Delivered via "+v, tot.Deliveries[v])
-	}
-	t.AddRow("Challenge-page visits", tot.WebVisits)
-	t.AddRow("CAPTCHA solves", tot.WebSolves)
-	t.AddRow("Reflection ratio (CR)", fmt.Sprintf("%.1f%%", tot.ReflectionRatio()*100))
-	t.AddRow("Solve rate", fmt.Sprintf("%.1f%%", tot.SolveRate()*100))
-	fmt.Println(t.Render())
-
+	fmt.Println(report.LogSummary(agg).Render())
 	if *perCompany {
-		ct := &report.Table{
-			Title:   "Per company",
-			Headers: []string{"Company", "Incoming", "Gray", "Challenges", "Reflection", "Solves"},
+		fmt.Println(report.LogPerCompany(agg).Render())
+	}
+}
+
+// startProgress prints an events/sec heartbeat from the live scan
+// counters every 5s until the returned stop function is called.
+func startProgress(c *logscan.Counters) func() {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(5 * time.Second)
+		defer tick.Stop()
+		start := time.Now()
+		var lastEvents int64
+		lastAt := start
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-tick.C:
+				events := c.Events.Load()
+				rate := float64(events-lastEvents) / now.Sub(lastAt).Seconds()
+				fmt.Fprintf(os.Stderr, "progress: %d events (%d bad lines), %.0f events/sec, %s elapsed\n",
+					events, c.BadLines.Load(), rate, now.Sub(start).Round(time.Second))
+				lastEvents, lastAt = events, now
+			}
 		}
-		for _, name := range agg.Companies() {
-			c := agg.ByCompany[name]
-			ct.AddRow(name, c.Incoming, c.Spools["gray"], c.Challenges,
-				fmt.Sprintf("%.1f%%", c.ReflectionRatio()*100), c.WebSolves)
-		}
-		fmt.Println(ct.Render())
+	}()
+	return func() {
+		close(done)
+		<-finished
 	}
 }

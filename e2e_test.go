@@ -31,6 +31,7 @@ import (
 	"repro/internal/dnssim"
 	"repro/internal/filters"
 	"repro/internal/gateway"
+	"repro/internal/logscan"
 	"repro/internal/mail"
 	"repro/internal/mailbox"
 	"repro/internal/maillog"
@@ -231,11 +232,12 @@ func TestEndToEndFullDeployment(t *testing.T) {
 		}
 	}
 
-	// --- 7. The decision log reconstructs the same statistics. ---
+	// --- 7. The decision log reconstructs the same statistics, via the
+	// parallel scanner the measurement pipeline uses. ---
 	if err := logW.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	agg, err := maillog.ParseAll(strings.NewReader(logBuf.String()))
+	agg, err := logscan.Scan(strings.NewReader(logBuf.String()), logscan.Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dnscache"
+	"repro/internal/logscan"
 	"repro/internal/mail"
 	"repro/internal/overload"
 	"repro/internal/reputation"
@@ -297,6 +298,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "store_save_last_success_unix %d\n", st.LastSuccess.Unix())
 		}
 	}
+	// Log-analysis counters: lifetime totals across every logscan run in
+	// this process (replay tooling, experiments), so an operator can see
+	// how much log the measurement pipeline has chewed through.
+	ls := logscan.TotalStats()
+	fmt.Fprintf(w, "logscan_events_total %d\n", ls.Events)
+	fmt.Fprintf(w, "logscan_bad_lines_total %d\n", ls.BadLines)
 	// Process-level contention counters: the cumulative time goroutines
 	// have spent blocked on mutexes is the live-deployment check that the
 	// engine's hot path stays contention-free (near-zero growth under

@@ -210,7 +210,8 @@ func TestMetricsEndpoint(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("status = %d", code)
 	}
-	for _, want := range []string{"incoming 1", "spool_gray 1", "challenges_sent 1", "quarantine_len 1"} {
+	for _, want := range []string{"incoming 1", "spool_gray 1", "challenges_sent 1", "quarantine_len 1",
+		"logscan_events_total ", "logscan_bad_lines_total "} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("metrics missing %q:\n%s", want, body)
 		}

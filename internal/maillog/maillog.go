@@ -69,11 +69,11 @@ const maxInlinePairs = 4
 
 // Event is one structured log record.
 //
-// Field storage has two forms. Events built by the Parser (and by
-// struct-literal construction) carry a Fields map. Events built with
-// MakeEvent — the emit hot path — carry up to maxInlinePairs key/value
-// pairs inline and allocate nothing; additional pairs overflow into the
-// map. Readers should use Field/EachField/FieldMap, which consult both.
+// Field storage has two forms. Events built by struct-literal
+// construction carry a Fields map. Events built with MakeEvent or
+// AddField — the emit and parse hot paths — carry up to maxInlinePairs
+// key/value pairs inline and allocate nothing; additional pairs overflow
+// into the map. Readers should use Field/FieldMap, which consult both.
 type Event struct {
 	Time    time.Time
 	Company string
@@ -106,6 +106,35 @@ func MakeEvent(t time.Time, company string, kind Kind, msgID string, kvs ...stri
 		e.Fields[kvs[i]] = kvs[i+1]
 	}
 	return e
+}
+
+// AddField sets one field, preferring the inline pairs and spilling
+// into the Fields map only past their capacity. A repeated key
+// overwrites the earlier value (map semantics), so parse order never
+// duplicates a field. It is the mutating counterpart of MakeEvent for
+// decoders that fill a reused Event in place.
+func (e *Event) AddField(k, v string) {
+	for i := 0; i < e.npairs; i++ {
+		if e.pairs[i][0] == k {
+			e.pairs[i][1] = v
+			return
+		}
+	}
+	if e.Fields != nil {
+		if _, ok := e.Fields[k]; ok {
+			e.Fields[k] = v
+			return
+		}
+	}
+	if e.npairs < maxInlinePairs {
+		e.pairs[e.npairs] = [2]string{k, v}
+		e.npairs++
+		return
+	}
+	if e.Fields == nil {
+		e.Fields = make(map[string]string)
+	}
+	e.Fields[k] = v
 }
 
 // Field returns the value of the named field from either storage form,
@@ -225,7 +254,11 @@ func append4(dst []byte, n int) []byte {
 	return append(dst, byte('0'+n/1000%10), byte('0'+n/100%10), byte('0'+n/10%10), byte('0'+n%10))
 }
 
-// ParseLine parses one log line back into an Event.
+// ParseLine parses one log line back into an Event. Fields land in the
+// inline pairs first (spilling into the Fields map only past their
+// capacity), mirroring MakeEvent, so a parse→AppendFormat round trip is
+// as alloc-light as the emit path; use Field or FieldMap — not the
+// Fields map directly — to read them.
 func ParseLine(line string) (Event, error) {
 	parts := strings.Fields(line)
 	if len(parts) < 3 {
@@ -239,7 +272,6 @@ func ParseLine(line string) (Event, error) {
 		Time:    t,
 		Company: parts[1],
 		Kind:    Kind(parts[2]),
-		Fields:  make(map[string]string),
 	}
 	for _, kv := range parts[3:] {
 		k, v, ok := strings.Cut(kv, "=")
@@ -250,7 +282,7 @@ func ParseLine(line string) (Event, error) {
 			e.MsgID = v
 			continue
 		}
-		e.Fields[k] = v
+		e.AddField(k, v)
 	}
 	return e, nil
 }
@@ -400,6 +432,53 @@ func (a *Aggregate) Add(e Event) {
 	}
 }
 
+// Merge folds another aggregate into a, summing every counter. It is
+// the reduction step of the parallel log scanner: each worker folds its
+// byte range into a shard-local aggregate and the shards are merged
+// afterwards. Addition is commutative and associative, so the merged
+// result is identical for any worker count or merge order. b is left
+// untouched.
+func (a *Aggregate) Merge(b *Aggregate) {
+	if b == nil {
+		return
+	}
+	a.Lines += b.Lines
+	a.BadLines += b.BadLines
+	for name, cb := range b.ByCompany {
+		ca := a.ByCompany[name]
+		if ca == nil {
+			ca = newCompanyAggregate()
+			a.ByCompany[name] = ca
+		}
+		ca.Merge(cb)
+	}
+}
+
+// Merge folds another company's counters into c, leaving o untouched.
+func (c *CompanyAggregate) Merge(o *CompanyAggregate) {
+	if o == nil {
+		return
+	}
+	c.Incoming += o.Incoming
+	c.Challenges += o.Challenges
+	c.WebVisits += o.WebVisits
+	c.WebSolves += o.WebSolves
+	c.InBytes += o.InBytes
+	mergeCounts(c.MTADrops, o.MTADrops)
+	mergeCounts(c.Spools, o.Spools)
+	mergeCounts(c.FilterDrops, o.FilterDrops)
+	mergeCounts(c.Deliveries, o.Deliveries)
+	mergeCounts(c.Degraded, o.Degraded)
+	mergeCounts(c.Reputation, o.Reputation)
+	mergeCounts(c.Overload, o.Overload)
+}
+
+func mergeCounts(dst, src map[string]int64) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+
 // Total returns the fleet-wide aggregate.
 func (a *Aggregate) Total() *CompanyAggregate {
 	if c := a.ByCompany[""]; c != nil {
@@ -420,25 +499,51 @@ func (a *Aggregate) Companies() []string {
 	return out
 }
 
+// MaxLineLen is the longest log line the parsers accept, matching the
+// historical 1 MiB bufio.Scanner cap. Longer lines are counted as bad
+// and skipped — they no longer abort the scan.
+const MaxLineLen = 1024 * 1024
+
 // ParseAll consumes a log stream, aggregating every parsable line. Bad
 // lines are counted, not fatal — exactly how a daily log crawler must
-// behave.
+// behave. That includes over-long lines: anything past MaxLineLen is
+// discarded up to the next newline and counted as one bad line, where
+// the old bufio.Scanner loop aborted with ErrTooLong and silently
+// returned a truncated aggregate. A real read error is returned wrapped
+// with the line number reached, alongside the partial aggregate.
 func ParseAll(r io.Reader) (*Aggregate, error) {
 	agg := NewAggregate()
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64*1024), 1024*1024)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		agg.Lines++
-		e, err := ParseLine(line)
-		if err != nil {
+	br := bufio.NewReaderSize(r, MaxLineLen)
+	for {
+		chunk, err := br.ReadSlice('\n')
+		if err == bufio.ErrBufferFull {
+			// Oversized line: count it once, discard to the newline.
+			agg.Lines++
 			agg.BadLines++
+			for err == bufio.ErrBufferFull {
+				_, err = br.ReadSlice('\n')
+			}
+			if err == io.EOF {
+				return agg, nil
+			}
+			if err != nil {
+				return agg, fmt.Errorf("maillog: read error after line %d: %w", agg.Lines, err)
+			}
 			continue
 		}
-		agg.Add(e)
+		if line := strings.TrimSpace(string(chunk)); line != "" {
+			agg.Lines++
+			if e, perr := ParseLine(line); perr != nil {
+				agg.BadLines++
+			} else {
+				agg.Add(e)
+			}
+		}
+		if err == io.EOF {
+			return agg, nil
+		}
+		if err != nil {
+			return agg, fmt.Errorf("maillog: read error after line %d: %w", agg.Lines, err)
+		}
 	}
-	return agg, sc.Err()
 }

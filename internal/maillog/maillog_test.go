@@ -1,6 +1,10 @@
 package maillog_test
 
 import (
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -35,8 +39,13 @@ func TestEventFormatParseRoundTrip(t *testing.T) {
 	if !got.Time.Equal(e.Time) || got.Company != e.Company || got.Kind != e.Kind || got.MsgID != e.MsgID {
 		t.Fatalf("round trip lost header: %+v", got)
 	}
-	if got.Fields["reason"] != "unknown-recipient" || got.Fields["size"] != "4096" {
-		t.Fatalf("round trip lost fields: %+v", got.Fields)
+	// ParseLine fills the inline pairs, not the Fields map; Field and
+	// FieldMap are the storage-agnostic readers.
+	if got.Field("reason") != "unknown-recipient" || got.Field("size") != "4096" {
+		t.Fatalf("round trip lost fields: %+v", got.FieldMap())
+	}
+	if got.Fields != nil {
+		t.Fatalf("ParseLine allocated an overflow map for %d fields", got.NumFields())
 	}
 }
 
@@ -206,5 +215,123 @@ func TestLogDerivedStatsMatchEngineCounters(t *testing.T) {
 	}
 	if logStats.SolveRate() != 1 {
 		t.Errorf("solve rate = %v, want 1", logStats.SolveRate())
+	}
+}
+
+// TestParseLineInlinePairSpill: ParseLine keeps up to four fields in the
+// inline pairs and spills the rest into the overflow map, and both
+// storage forms read back identically.
+func TestParseLineInlinePairSpill(t *testing.T) {
+	line := "2010-07-01T10:00:00Z corp deliver msg=m-9 a=1 b=2 c=3 d=4 e=5 f=6"
+	e, err := maillog.ParseLine(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumFields() != 6 {
+		t.Fatalf("NumFields = %d, want 6", e.NumFields())
+	}
+	if len(e.Fields) != 2 {
+		t.Fatalf("overflow map holds %d fields, want 2 (inline capacity is 4)", len(e.Fields))
+	}
+	for _, kv := range [][2]string{{"a", "1"}, {"b", "2"}, {"c", "3"}, {"d", "4"}, {"e", "5"}, {"f", "6"}} {
+		if got := e.Field(kv[0]); got != kv[1] {
+			t.Errorf("Field(%q) = %q, want %q", kv[0], got, kv[1])
+		}
+	}
+	if got := e.Format(); got != line {
+		t.Errorf("round trip = %q, want %q", got, line)
+	}
+}
+
+// TestParseAllOversizedLine: a line past the 1 MiB cap used to abort the
+// whole scan with bufio.ErrTooLong and a silently-truncated aggregate;
+// now it counts as one bad line and the scan continues.
+func TestParseAllOversizedLine(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("2010-07-01T10:00:00Z corp mta-accept msg=m-1 size=100\n")
+	sb.WriteString(strings.Repeat("x", maillog.MaxLineLen+100))
+	sb.WriteByte('\n')
+	sb.WriteString("2010-07-01T10:00:01Z corp challenge msg=m-1\n")
+
+	agg, err := maillog.ParseAll(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("oversized line aborted the scan: %v", err)
+	}
+	if agg.Lines != 3 || agg.BadLines != 1 {
+		t.Fatalf("lines=%d bad=%d, want 3/1", agg.Lines, agg.BadLines)
+	}
+	tot := agg.Total()
+	if tot.Incoming != 1 || tot.Challenges != 1 {
+		t.Fatalf("events around the oversized line lost: %+v", tot)
+	}
+}
+
+// errAfterReader returns a read error once the wrapped reader drains.
+type errAfterReader struct {
+	r   io.Reader
+	err error
+}
+
+func (e *errAfterReader) Read(p []byte) (int, error) {
+	n, err := e.r.Read(p)
+	if err == io.EOF {
+		return n, e.err
+	}
+	return n, err
+}
+
+// TestParseAllErrorCarriesLineNumber: a real read error surfaces wrapped
+// with the line number reached, alongside the partial aggregate.
+func TestParseAllErrorCarriesLineNumber(t *testing.T) {
+	input := "2010-07-01T10:00:00Z corp mta-accept msg=m-1\n" +
+		"2010-07-01T10:00:01Z corp challenge msg=m-1\n"
+	boom := errors.New("disk on fire")
+	agg, err := maillog.ParseAll(&errAfterReader{r: strings.NewReader(input), err: boom})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error lacks line number: %v", err)
+	}
+	if agg == nil || agg.Lines != 2 {
+		t.Fatalf("partial aggregate missing: %+v", agg)
+	}
+}
+
+// TestAggregateMerge: splitting a log anywhere and merging the shard
+// aggregates reproduces the serial aggregate exactly — the invariant the
+// parallel scanner's reduction step rests on.
+func TestAggregateMerge(t *testing.T) {
+	var sb strings.Builder
+	w := maillog.NewWriter(&sb)
+	for i := 0; i < 50; i++ {
+		co := fmt.Sprintf("corp-%d", i%3)
+		w.Write(maillog.MakeEvent(t0.Add(time.Duration(i)*time.Second), co, maillog.KindMTAAccept, fmt.Sprintf("m-%d", i), "size", "100"))
+		w.Write(maillog.MakeEvent(t0.Add(time.Duration(i)*time.Second), co, maillog.KindDispatch, fmt.Sprintf("m-%d", i), "spool", "gray"))
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(sb.String(), "\n")
+
+	serial, err := maillog.ParseAll(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 1, 37, len(lines)} {
+		merged := maillog.NewAggregate()
+		a, err := maillog.ParseAll(strings.NewReader(strings.Join(lines[:cut], "")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := maillog.ParseAll(strings.NewReader(strings.Join(lines[cut:], "")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged.Merge(a)
+		merged.Merge(b)
+		if !reflect.DeepEqual(merged, serial) {
+			t.Fatalf("cut %d: merged shards differ from serial aggregate", cut)
+		}
 	}
 }

@@ -1,0 +1,63 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/maillog"
+)
+
+// LogSummary renders the fleet-wide table the paper's Python scripts
+// printed over the parsed daily logs: volumes, drop reasons, spools,
+// deliveries, the reflection ratio and the solve rate. It is the
+// presentation half of cmd/logstats, shared so experiments can render
+// a scanned aggregate the same way.
+func LogSummary(agg *maillog.Aggregate) *Table {
+	tot := agg.Total()
+	t := &Table{Title: "Log-derived statistics", Headers: []string{"Metric", "Value"}}
+	t.AddRow("Log lines", agg.Lines)
+	t.AddRow("Unparsable lines", agg.BadLines)
+	t.AddRow("Incoming messages", tot.Incoming)
+	for _, r := range sortedKeys(tot.MTADrops) {
+		t.AddRow("MTA drop: "+r, tot.MTADrops[r])
+	}
+	for _, s := range []string{"white", "black", "gray"} {
+		t.AddRow("Spool: "+s, tot.Spools[s])
+	}
+	for _, f := range sortedKeys(tot.FilterDrops) {
+		t.AddRow("Filter drop: "+f, tot.FilterDrops[f])
+	}
+	t.AddRow("Challenges sent", tot.Challenges)
+	for _, v := range []string{"whitelist", "challenge", "digest"} {
+		t.AddRow("Delivered via "+v, tot.Deliveries[v])
+	}
+	t.AddRow("Challenge-page visits", tot.WebVisits)
+	t.AddRow("CAPTCHA solves", tot.WebSolves)
+	t.AddRow("Reflection ratio (CR)", fmt.Sprintf("%.1f%%", tot.ReflectionRatio()*100))
+	t.AddRow("Solve rate", fmt.Sprintf("%.1f%%", tot.SolveRate()*100))
+	return t
+}
+
+// LogPerCompany renders the per-installation breakdown of a scanned
+// aggregate, one row per company in name order.
+func LogPerCompany(agg *maillog.Aggregate) *Table {
+	t := &Table{
+		Title:   "Per company",
+		Headers: []string{"Company", "Incoming", "Gray", "Challenges", "Reflection", "Solves"},
+	}
+	for _, name := range agg.Companies() {
+		c := agg.ByCompany[name]
+		t.AddRow(name, c.Incoming, c.Spools["gray"], c.Challenges,
+			fmt.Sprintf("%.1f%%", c.ReflectionRatio()*100), c.WebSolves)
+	}
+	return t
+}
+
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

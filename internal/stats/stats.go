@@ -57,6 +57,31 @@ func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
 // Min returns the smallest observation (0 with none).
 func (s *Summary) Min() float64 { return s.min }
 
+// Merge folds another summary into s as if every observation behind o
+// had been Added here, using the parallel Welford combination (Chan et
+// al.), so shard-local summaries reduce to the serial result. o is left
+// untouched.
+func (s *Summary) Merge(o *Summary) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *o
+		return
+	}
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	n := s.n + o.n
+	d := o.mean - s.mean
+	s.m2 += o.m2 + d*d*float64(s.n)*float64(o.n)/float64(n)
+	s.mean += d * float64(o.n) / float64(n)
+	s.n = n
+}
+
 // Max returns the largest observation (0 with none).
 func (s *Summary) Max() float64 { return s.max }
 
@@ -90,6 +115,28 @@ func (h *Histogram) Add(x float64) {
 	}
 	h.counts[i]++
 	h.total++
+}
+
+// Merge adds another histogram's counts into h. The two must share
+// identical bucket bounds — shard-local histograms of one measurement
+// always do; anything else is a programming error and errors out.
+func (h *Histogram) Merge(o *Histogram) error {
+	if o == nil {
+		return nil
+	}
+	if len(h.bounds) != len(o.bounds) {
+		return fmt.Errorf("stats: merging histograms with %d vs %d bounds", len(h.bounds), len(o.bounds))
+	}
+	for i := range h.bounds {
+		if h.bounds[i] != o.bounds[i] {
+			return fmt.Errorf("stats: merging histograms with different bound %d: %g vs %g", i, h.bounds[i], o.bounds[i])
+		}
+	}
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.total += o.total
+	return nil
 }
 
 // Counts returns a copy of the per-bucket counts (len(bounds)+1).
@@ -148,6 +195,17 @@ func (c *CDF) Add(x float64) {
 
 // N returns the sample count.
 func (c *CDF) N() int { return len(c.samples) }
+
+// Merge appends another CDF's samples, leaving o untouched. Quantiles
+// over the merged CDF equal quantiles over the concatenated samples,
+// regardless of how they were sharded.
+func (c *CDF) Merge(o *CDF) {
+	if o == nil || len(o.samples) == 0 {
+		return
+	}
+	c.samples = append(c.samples, o.samples...)
+	c.sorted = false
+}
 
 func (c *CDF) sort() {
 	if !c.sorted {

@@ -401,3 +401,102 @@ func BenchmarkPearson(b *testing.B) {
 		Pearson(xs, ys)
 	}
 }
+
+// TestSummaryMerge: merging shard summaries must reproduce the serial
+// summary — the reduction the parallel log scanner relies on.
+func TestSummaryMerge(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = r.NormFloat64()*40 + 10
+	}
+	var serial Summary
+	for _, x := range xs {
+		serial.Add(x)
+	}
+	for _, shards := range []int{1, 2, 4, 7} {
+		var merged Summary
+		for s := 0; s < shards; s++ {
+			var part Summary
+			for i := s; i < len(xs); i += shards {
+				part.Add(xs[i])
+			}
+			merged.Merge(&part)
+		}
+		if merged.N() != serial.N() || merged.Min() != serial.Min() || merged.Max() != serial.Max() {
+			t.Fatalf("shards=%d: n/min/max %d/%g/%g vs %d/%g/%g",
+				shards, merged.N(), merged.Min(), merged.Max(), serial.N(), serial.Min(), serial.Max())
+		}
+		if math.Abs(merged.Mean()-serial.Mean()) > 1e-9 {
+			t.Fatalf("shards=%d: mean %g vs %g", shards, merged.Mean(), serial.Mean())
+		}
+		if math.Abs(merged.Var()-serial.Var()) > 1e-6*serial.Var() {
+			t.Fatalf("shards=%d: var %g vs %g", shards, merged.Var(), serial.Var())
+		}
+	}
+	// Merging into an empty summary copies; merging an empty is a no-op.
+	var empty Summary
+	empty.Merge(&serial)
+	if empty != serial {
+		t.Fatal("merge into empty lost state")
+	}
+	before := serial
+	serial.Merge(&Summary{})
+	if serial != before {
+		t.Fatal("merging an empty summary changed state")
+	}
+}
+
+// TestHistogramMerge: counts add bucket-wise; mismatched bounds refuse.
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(10, 30, 60)
+	b := NewHistogram(10, 30, 60)
+	for _, x := range []float64{1, 15, 45, 100} {
+		a.Add(x)
+	}
+	for _, x := range []float64{5, 35, 200, 300} {
+		b.Add(x)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != 8 {
+		t.Fatalf("total = %d", a.Total())
+	}
+	want := []int64{2, 1, 2, 3}
+	for i, c := range a.Counts() {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+	if err := a.Merge(NewHistogram(10, 30)); err == nil {
+		t.Fatal("bound-count mismatch accepted")
+	}
+	if err := a.Merge(NewHistogram(10, 30, 90)); err == nil {
+		t.Fatal("bound-value mismatch accepted")
+	}
+}
+
+// TestCDFMerge: quantiles over merged shards equal quantiles over the
+// concatenation.
+func TestCDFMerge(t *testing.T) {
+	serial, merged, shard := NewCDF(), NewCDF(), NewCDF()
+	for i := 0; i < 1000; i++ {
+		x := float64((i * 7919) % 1000)
+		serial.Add(x)
+		if i%2 == 0 {
+			merged.Add(x)
+		} else {
+			shard.Add(x)
+		}
+	}
+	merged.Merge(shard)
+	if merged.N() != serial.N() {
+		t.Fatalf("n = %d, want %d", merged.N(), serial.N())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if merged.Quantile(q) != serial.Quantile(q) {
+			t.Fatalf("q=%g: %g vs %g", q, merged.Quantile(q), serial.Quantile(q))
+		}
+	}
+}

@@ -1,9 +1,11 @@
 package workload
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
+	"repro/internal/logscan"
 	"repro/internal/mail"
 	"repro/internal/maillog"
 )
@@ -31,6 +33,16 @@ func TestFleetLogCrossValidation(t *testing.T) {
 	}
 	if agg.BadLines != 0 {
 		t.Fatalf("unparsable lines = %d", agg.BadLines)
+	}
+
+	// The parallel scanner must reconstruct the identical aggregate — the
+	// serial crawl and the production measurement path are interchangeable.
+	scanned, err := logscan.Scan(strings.NewReader(sb.String()), logscan.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(scanned, agg) {
+		t.Fatal("parallel logscan aggregate differs from serial ParseAll")
 	}
 
 	// Fleet-wide totals.
