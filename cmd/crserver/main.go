@@ -46,6 +46,7 @@ import (
 	"repro/internal/reputation"
 	"repro/internal/resilience"
 	"repro/internal/smtp"
+	"repro/internal/spool"
 	"repro/internal/store"
 	"repro/internal/wal"
 	"repro/internal/whitelist"
@@ -123,9 +124,11 @@ func main() {
 		harden(filters.NewRBL(rblBackend), filters.FailOpen),
 	)
 	wl := whitelist.NewStore(clk)
-	st := store.Stores{Whitelist: wl, Reputation: rep}
+	sp := spool.NewState()
+	st := store.Stores{Whitelist: wl, Reputation: rep, Spool: sp}
 	saver := &store.Saver{Path: *statePath, Name: "crserver", Injector: inj}
 	var walLog *wal.Log
+	var journal *wal.Journal
 	if *walDir != "" {
 		// Crash recovery: newest snapshot first, then the WAL suffix past
 		// its cut. A torn tail (the normal aftermath of a crash) is
@@ -152,7 +155,8 @@ func main() {
 		if rec.Truncated {
 			log.Printf("wal: truncated torn tail (%d byte(s) discarded) — expected after a crash", rec.TornBytes)
 		}
-		wal.NewJournal(walLog).Attach(wl, rep, nil)
+		journal = wal.NewJournal(walLog)
+		journal.Attach(wl, rep, nil)
 	} else if *statePath != "" {
 		snap, err := store.LoadFile(*statePath, st)
 		if err != nil {
@@ -181,12 +185,23 @@ func main() {
 		log.Printf("CHALLENGE to %s for message %s — solve at %s", ch.To, ch.MsgID, ch.URL)
 	}
 	if *smarthost != "" {
-		queue = outbound.NewQueue(outbound.Config{
+		ocfg := outbound.Config{
 			Dial:       func() (*smtp.Client, error) { return smtp.Dial(*smarthost, 10*time.Second) },
 			HeloDomain: *domain,
 			Injector:   inj,
 			MaxQueued:  *maxQueued,
-		})
+			Spool:      sp,
+		}
+		if journal != nil {
+			ocfg.Journal = journal.Emit
+		}
+		queue = outbound.NewQueue(ocfg)
+		// Re-enqueue challenges that were pending in the recovered spool:
+		// a crash between Enqueue and the terminal transition loses
+		// nothing, the journalled state transitions rebuild the queue.
+		if n := queue.Restore(); n > 0 {
+			log.Printf("outbound: restored %d pending challenge(s) from the recovered spool", n)
+		}
 		base := sendChallenge
 		sendChallenge = func(ch core.OutboundChallenge) {
 			base(ch)
@@ -233,12 +248,16 @@ func main() {
 		if walLog != nil {
 			ui.SetWAL(walLog)
 		}
+		if queue != nil {
+			ui.SetOutbound(queue)
+		}
 		admin := ui.Handler()
 		mux.Handle("/digest/", admin)
 		mux.Handle("/metrics", admin)
 		mux.Handle("/reputation", admin)
 		mux.Handle("/overload", admin)
 		mux.Handle("/wal", admin)
+		mux.Handle("/outbound", admin)
 		mux.HandleFunc("/mbox/", func(w http.ResponseWriter, r *http.Request) {
 			userRaw := strings.TrimPrefix(r.URL.Path, "/mbox/")
 			user, err := mail.ParseAddress(userRaw)

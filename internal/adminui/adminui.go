@@ -14,6 +14,7 @@
 //	GET  /reputation                        — sender-reputation standings
 //	GET  /overload                          — admission-controller state
 //	GET  /wal                               — write-ahead-log segments and watermarks
+//	GET  /outbound                          — challenge spool and per-domain delivery health
 package adminui
 
 import (
@@ -29,8 +30,10 @@ import (
 	"repro/internal/dnscache"
 	"repro/internal/logscan"
 	"repro/internal/mail"
+	"repro/internal/outbound"
 	"repro/internal/overload"
 	"repro/internal/reputation"
+	"repro/internal/resilience"
 	"repro/internal/store"
 	"repro/internal/wal"
 )
@@ -43,6 +46,7 @@ type Server struct {
 	ctl      *overload.Controller
 	wal      *wal.Log
 	saver    *store.Saver
+	outQ     *outbound.Queue
 	syncFn   func() SyncStats
 }
 
@@ -86,6 +90,11 @@ func (s *Server) SetWAL(l *wal.Log) { s.wal = l }
 // store_save_* counters.
 func (s *Server) SetSaver(sv *store.Saver) { s.saver = sv }
 
+// SetOutbound registers the installation's outbound challenge queue so
+// /metrics exports the spool counters and /outbound renders per-domain
+// delivery health.
+func (s *Server) SetOutbound(q *outbound.Queue) { s.outQ = q }
+
 var digestTmpl = template.Must(template.New("digest").Parse(`<!DOCTYPE html>
 <html><head><title>Quarantine digest — {{.User}}</title></head><body>
 <h1>Quarantined messages for {{.User}}</h1>
@@ -126,6 +135,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/reputation", s.handleReputation)
 	mux.HandleFunc("/overload", s.handleOverload)
 	mux.HandleFunc("/wal", s.handleWAL)
+	mux.HandleFunc("/outbound", s.handleOutbound)
 	return mux
 }
 
@@ -238,6 +248,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	for via, n := range m.Delivered {
 		fmt.Fprintf(w, "delivered_%s %d\n", via, n)
+	}
+	fmt.Fprintf(w, "challenge_loop_suppressed_total %d\n", m.ChallengeLoopSuppressed)
+	fmt.Fprintf(w, "dsn_orphaned_total %d\n", m.DSNOrphaned)
+	for _, cls := range sortedStringKeys(m.ChallengeBounced) {
+		fmt.Fprintf(w, "outbound_bounce_total{class=%q} %d\n", cls, m.ChallengeBounced[cls])
+	}
+	if s.outQ != nil {
+		fmt.Fprintf(w, "outbound_spool_depth %d\n", s.outQ.SpoolDepth())
+		fmt.Fprintf(w, "outbound_deferred %d\n", s.outQ.Deferred())
+		fmt.Fprintf(w, "outbound_journal_dropped %d\n", s.outQ.JournalDropped())
+		var open, halfOpen int
+		for _, d := range s.outQ.DomainStats() {
+			switch d.Breaker.State {
+			case resilience.Open:
+				open++
+			case resilience.HalfOpen:
+				halfOpen++
+			}
+		}
+		fmt.Fprintf(w, "outbound_breakers_open %d\n", open)
+		fmt.Fprintf(w, "outbound_breakers_half_open %d\n", halfOpen)
 	}
 	if s.dnsCache != nil {
 		st := s.dnsCache.Stats()
@@ -414,6 +445,89 @@ func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request) {
 		"M":        s.wal.Metrics(),
 		"Segments": s.wal.Segments(),
 	})
+}
+
+var outboundTmpl = template.Must(template.New("outbound").Parse(`<!DOCTYPE html>
+<html><head><title>Outbound challenges — {{.Company}}</title></head><body>
+<h1>Outbound challenge delivery</h1>
+<table border="1" cellpadding="4">
+<tr><th>spool depth (pending)</th><td>{{.SpoolDepth}}</td></tr>
+<tr><th>deferred (over queue bound)</th><td>{{.Deferred}}</td></tr>
+<tr><th>journal appends dropped</th><td>{{.JournalDropped}}</td></tr>
+<tr><th>loops suppressed</th><td>{{.LoopSuppressed}}</td></tr>
+<tr><th>orphaned DSNs</th><td>{{.DSNOrphaned}}</td></tr>
+</table>
+<h2>Bounce classification (DSN feedback)</h2>
+{{if .Bounces}}<table border="1" cellpadding="4">
+<tr><th>class</th><th>count</th></tr>
+{{range .Bounces}}<tr><td>{{.Class}}</td><td>{{.Count}}</td></tr>{{end}}
+</table>{{else}}<p>none — no challenge bounces observed</p>{{end}}
+<h2>Destination domains ({{len .Domains}})</h2>
+{{if .Domains}}<table border="1" cellpadding="4">
+<tr><th>domain</th><th>queued</th><th>breaker</th><th>trips</th><th>fail streak</th><th>sent</th><th>bounced</th><th>expired</th><th>next retry</th><th>last error</th></tr>
+{{range .Domains}}<tr><td>{{.Domain}}</td><td>{{.Queued}}</td><td>{{.Breaker.State}}</td><td>{{.Breaker.Trips}}</td><td>{{.FailStreak}}</td><td>{{.Sent}}</td><td>{{.Bounced}}</td><td>{{.Expired}}</td><td>{{.RetryText}}</td><td>{{.LastError}}</td></tr>
+{{end}}</table>{{else}}<p>none — no challenges have been enqueued</p>{{end}}
+<p>Each destination domain has an independent circuit breaker and retry
+ladder, so one dark domain cannot stall challenge delivery to healthy
+ones. Bounce classes come from parsing RFC 3464 delivery status
+notifications back into the originating gray message.</p>
+</body></html>
+`))
+
+// handleOutbound renders the durable challenge spool and the per-domain
+// delivery ledgers.
+func (s *Server) handleOutbound(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.outQ == nil {
+		http.Error(w, "no outbound queue configured", http.StatusNotFound)
+		return
+	}
+	m := s.engine.Metrics()
+	type bounceRow struct {
+		Class string
+		Count int64
+	}
+	bounces := make([]bounceRow, 0, len(m.ChallengeBounced))
+	for _, cls := range sortedStringKeys(m.ChallengeBounced) {
+		bounces = append(bounces, bounceRow{cls, m.ChallengeBounced[cls]})
+	}
+	type domainRow struct {
+		outbound.DomainStats
+		RetryText string
+	}
+	stats := s.outQ.DomainStats()
+	domains := make([]domainRow, 0, len(stats))
+	for _, d := range stats {
+		row := domainRow{DomainStats: d}
+		if !d.RetryAt.IsZero() {
+			row.RetryText = d.RetryAt.Format("2006-01-02 15:04:05")
+		}
+		domains = append(domains, row)
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = outboundTmpl.Execute(w, map[string]interface{}{
+		"Company":        s.engine.Name(),
+		"SpoolDepth":     s.outQ.SpoolDepth(),
+		"Deferred":       s.outQ.Deferred(),
+		"JournalDropped": s.outQ.JournalDropped(),
+		"LoopSuppressed": m.ChallengeLoopSuppressed,
+		"DSNOrphaned":    m.DSNOrphaned,
+		"Bounces":        bounces,
+		"Domains":        domains,
+	})
+}
+
+// sortedStringKeys returns m's keys in sorted order for stable output.
+func sortedStringKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 var reputationTmpl = template.Must(template.New("reputation").Parse(`<!DOCTYPE html>

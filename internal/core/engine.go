@@ -257,6 +257,18 @@ type Metrics struct {
 	// ChallengeRateLimited counts gray messages quarantined without a
 	// challenge because the hourly outbound cap was reached.
 	ChallengeRateLimited int64
+	// ChallengeLoopSuppressed counts gray messages that carried an
+	// Auto-Submitted header (RFC 3834) and were quarantined without a
+	// counter-challenge — the guard that keeps two CR deployments from
+	// challenging each other's challenges forever.
+	ChallengeLoopSuppressed int64
+	// ChallengeBounced counts inbound DSNs correlated back to an
+	// outstanding challenge, by bounce class (no-user, no-domain,
+	// blocklisted, expired, other). DSNOrphaned counts parsed DSNs
+	// that matched no outstanding challenge (late bounces, backscatter
+	// aimed at the challenge sender).
+	ChallengeBounced map[string]int64
+	DSNOrphaned      int64
 	// FilterDegraded counts, per filter name, gray-spool evaluations in
 	// which the filter's dependency was unavailable and its degradation
 	// policy decided the outcome.
@@ -365,15 +377,18 @@ type counters struct {
 	spoolGray     atomic.Int64
 	dispatchBytes atomic.Int64
 
-	filterDropped        *stripedCounts // by filter name
-	challengesSent       atomic.Int64
-	challengeBytes       atomic.Int64
-	quarantineOnly       atomic.Int64
-	challengeSuppressed  atomic.Int64
-	challengeRateLimited atomic.Int64
-	filterDegraded       *stripedCounts // by component name
-	mtaDegradedAccept    atomic.Int64
-	mtaDegradedDrop      atomic.Int64
+	filterDropped           *stripedCounts // by filter name
+	challengesSent          atomic.Int64
+	challengeBytes          atomic.Int64
+	quarantineOnly          atomic.Int64
+	challengeSuppressed     atomic.Int64
+	challengeRateLimited    atomic.Int64
+	challengeLoopSuppressed atomic.Int64
+	challengeBounced        *stripedCounts // by DSN class
+	dsnOrphaned             atomic.Int64
+	filterDegraded          *stripedCounts // by component name
+	mtaDegradedAccept       atomic.Int64
+	mtaDegradedDrop         atomic.Int64
 
 	reputationFastPath atomic.Int64
 	reputationSuspect  atomic.Int64
@@ -421,6 +436,12 @@ type Engine struct {
 	// sender) pair so a sender is challenged at most once per mailbox
 	// at a time; later messages queue behind the first.
 	pendingChallenge map[pairKey][]string // pair -> quarantined msg IDs
+	// observedBounces records, per originating gray message ID, the DSN
+	// class of a bounce correlated back to its challenge. It is the
+	// engine's own (log-derived, non-omniscient) view of challenge
+	// fates; the clustering experiments cross-validate it against
+	// simulator truth.
+	observedBounces map[string]string
 	// rate limiting window state.
 	rateWindowStart time.Time
 	rateWindowCount int
@@ -468,12 +489,14 @@ func New(cfg Config, clk clock.Clock, resolver dnssim.Resolver, chain *filters.C
 		quarantine:       make(map[string]*quarantined),
 		byRcpt:           make(map[mail.Address]map[string]*quarantined),
 		pendingChallenge: make(map[pairKey][]string),
+		observedBounces:  make(map[string]string),
 	}
 	if sendCh != nil {
 		e.sendCh.Store(&sendCh)
 	}
 	e.c.filterDropped = newStripedCounts()
 	e.c.filterDegraded = newStripedCounts()
+	e.c.challengeBounced = newStripedCounts()
 	e.captcha = captcha.NewService(captcha.Config{
 		Clock:    clk,
 		TTL:      cfg.QuarantineTTL,
@@ -935,11 +958,32 @@ func (e *Engine) challengeOrQuarantine(msg *mail.Message) GrayOutcome {
 	q := &quarantined{msg: msg, queuedAt: now}
 
 	if msg.EnvelopeFrom.IsNull() {
-		// A bounce: quarantine for the digest but never challenge.
+		// A bounce: quarantine for the digest but never challenge. If it
+		// parses as a DSN for one of our own challenges, close the
+		// feedback loop first — the fate of the challenge is negative
+		// evidence about the (very possibly spoofed) original sender.
+		e.processDSN(msg)
 		e.mu.Lock()
 		e.addQuarLocked(q)
 		e.mu.Unlock()
 		e.c.quarantineOnly.Add(1)
+		return GrayQuarantinedOnly
+	}
+
+	if msg.AutoSubmitted != "" {
+		// RFC 3834: the message is itself auto-generated — another CR
+		// system's challenge, a vacation autoresponder. Challenging it
+		// would start a challenge-challenge loop between two CR
+		// deployments (our challenges carry the same header, so the
+		// peer suppresses symmetrically). Quarantine only.
+		e.mu.Lock()
+		e.addQuarLocked(q)
+		e.mu.Unlock()
+		e.c.challengeLoopSuppressed.Add(1)
+		if e.logging() {
+			e.emit(maillog.KindLoopSuppressed, msg.ID,
+				"from", msg.EnvelopeFrom.Key(), "auto", msg.AutoSubmitted)
+		}
 		return GrayQuarantinedOnly
 	}
 
@@ -1001,6 +1045,76 @@ func (e *Engine) challengeOrQuarantine(msg *mail.Message) GrayOutcome {
 		})
 	}
 	return GrayChallenged
+}
+
+// processDSN closes the challenge feedback loop for one inbound
+// null-sender message. If the message parses as a delivery status
+// notification whose original message ID matches an outstanding
+// challenged quarantine item, the originating gray message is marked
+// bounced (visible through ObservedBounces and the ChallengeBounced
+// counters) and — for the spoofed-sender bounce classes, no-user and
+// no-domain — the sender takes a reputation penalty. A blocklisted
+// bounce (5.7.1) is the *challenge sender's* standing with the remote
+// MX, not evidence about the original sender, so it is counted but
+// never penalised. DSNs matching no outstanding challenge count as
+// orphaned. Reports whether the message was a parsable DSN.
+func (e *Engine) processDSN(msg *mail.Message) bool {
+	d, ok := mail.ParseDSN(msg)
+	if !ok {
+		return false
+	}
+	class := string(d.Class)
+
+	var sender mail.Address
+	correlated := false
+	if d.OriginalMessageID != "" {
+		e.mu.Lock()
+		if q, ok := e.quarantine[d.OriginalMessageID]; ok && q.challenged {
+			correlated = true
+			sender = q.msg.EnvelopeFrom
+			e.observedBounces[d.OriginalMessageID] = class
+		}
+		e.mu.Unlock()
+	}
+
+	if correlated {
+		e.c.challengeBounced.Add(class, 1)
+		if d.Class == mail.DSNNoUser || d.Class == mail.DSNNoDomain {
+			e.recordRep(sender, "", reputation.Bounced)
+		}
+	} else {
+		e.c.dsnOrphaned.Add(1)
+	}
+
+	if e.logging() {
+		domain := sender.Domain
+		if domain == "" {
+			if i := strings.LastIndexByte(d.FinalRecipient, '@'); i >= 0 {
+				domain = d.FinalRecipient[i+1:]
+			}
+		}
+		id := d.OriginalMessageID
+		if id == "" {
+			id = msg.ID
+		}
+		e.emit(maillog.KindBounce, id,
+			"class", class, "status", d.Status, "domain", domain)
+	}
+	return true
+}
+
+// ObservedBounces returns the engine's log-derived view of challenge
+// fates: originating gray message ID to DSN bounce class, for every
+// challenge whose bounce came back and was correlated. The clustering
+// experiments cross-validate this map against simulator truth.
+func (e *Engine) ObservedBounces() map[string]string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string]string, len(e.observedBounces))
+	for k, v := range e.observedBounces {
+		out[k] = v
+	}
+	return out
 }
 
 // deliver records a delivery to the user's inbox.
@@ -1215,15 +1329,18 @@ func (e *Engine) Metrics() Metrics {
 		SpoolGray:     e.c.spoolGray.Load(),
 		DispatchBytes: e.c.dispatchBytes.Load(),
 
-		FilterDropped:        e.c.filterDropped.Snapshot(),
-		ChallengesSent:       e.c.challengesSent.Load(),
-		ChallengeBytes:       e.c.challengeBytes.Load(),
-		QuarantineOnly:       e.c.quarantineOnly.Load(),
-		ChallengeSuppressed:  e.c.challengeSuppressed.Load(),
-		ChallengeRateLimited: e.c.challengeRateLimited.Load(),
-		FilterDegraded:       e.c.filterDegraded.Snapshot(),
-		MTADegradedAccept:    e.c.mtaDegradedAccept.Load(),
-		MTADegradedDrop:      e.c.mtaDegradedDrop.Load(),
+		FilterDropped:           e.c.filterDropped.Snapshot(),
+		ChallengesSent:          e.c.challengesSent.Load(),
+		ChallengeBytes:          e.c.challengeBytes.Load(),
+		QuarantineOnly:          e.c.quarantineOnly.Load(),
+		ChallengeSuppressed:     e.c.challengeSuppressed.Load(),
+		ChallengeRateLimited:    e.c.challengeRateLimited.Load(),
+		ChallengeLoopSuppressed: e.c.challengeLoopSuppressed.Load(),
+		ChallengeBounced:        e.c.challengeBounced.Snapshot(),
+		DSNOrphaned:             e.c.dsnOrphaned.Load(),
+		FilterDegraded:          e.c.filterDegraded.Snapshot(),
+		MTADegradedAccept:       e.c.mtaDegradedAccept.Load(),
+		MTADegradedDrop:         e.c.mtaDegradedDrop.Load(),
 
 		ReputationFastPath: e.c.reputationFastPath.Load(),
 		ReputationSuspect:  e.c.reputationSuspect.Load(),

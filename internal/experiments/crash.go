@@ -27,6 +27,7 @@ import (
 	"repro/internal/greylist"
 	"repro/internal/mail"
 	"repro/internal/reputation"
+	"repro/internal/spool"
 	"repro/internal/store"
 	"repro/internal/wal"
 	"repro/internal/whitelist"
@@ -55,7 +56,11 @@ type CrashPoint struct {
 	// reputation exports are byte-identical to a shadow fold of the
 	// committed record sequence up to RecoveredLSN.
 	StateIdentical bool
-	// Detail carries the first divergence when StateIdentical is false.
+	// SpoolIdentical reports whether the recovered outbound challenge
+	// spool (pending items and terminal fates) is byte-identical to the
+	// same shadow fold — the zero-acked-challenge-loss claim.
+	SpoolIdentical bool
+	// Detail carries the first divergence when a state check fails.
 	Detail string
 }
 
@@ -71,8 +76,19 @@ type CrashRestartReport struct {
 // Pass reports whether every crash point recovered perfectly.
 func (r *CrashRestartReport) Pass() bool {
 	for _, p := range r.Points {
-		if p.LostAcked != 0 || !p.StateIdentical ||
+		if p.LostAcked != 0 || !p.StateIdentical || !p.SpoolIdentical ||
 			p.RecoveredLSN < p.DurableLSN || p.RecoveredLSN > p.AppendedLSN {
+			return false
+		}
+	}
+	return true
+}
+
+// SpoolPass reports whether every crash point recovered the outbound
+// challenge spool byte-identically.
+func (r *CrashRestartReport) SpoolPass() bool {
+	for _, p := range r.Points {
+		if !p.SpoolIdentical {
 			return false
 		}
 	}
@@ -85,6 +101,8 @@ type crashInstall struct {
 	wl  *whitelist.Store
 	rep *reputation.Store
 	gl  *greylist.Store
+	sp  *spool.State
+	rec *spool.Recorder
 	log *wal.Log
 	dir string // holds state.json + wal/
 }
@@ -130,6 +148,7 @@ func CrashRestart(seed int64, crashes int) (*CrashRestartReport, error) {
 			wl:  whitelist.NewStore(clk),
 			rep: reputation.NewStore(reputation.Config{}, clk),
 			gl:  greylist.New(greylist.Config{}, clk),
+			sp:  spool.NewState(),
 			dir: dir,
 		}, nil
 	}
@@ -138,6 +157,9 @@ func CrashRestart(seed int64, crashes int) (*CrashRestartReport, error) {
 		j := wal.NewJournal(ci.log)
 		j.SetTap(func(r wal.Record) { committed = append(committed, r) })
 		j.Attach(ci.wl, ci.rep, ci.gl)
+		// Spool transitions journal through the same path the outbound
+		// queue uses in production: Recorder -> Journal.Emit.
+		ci.rec = &spool.Recorder{State: ci.sp, Emit: j.Emit}
 	}
 
 	live, err := newInstall(0)
@@ -158,10 +180,38 @@ func CrashRestart(seed int64, crashes int) (*CrashRestartReport, error) {
 		return mail.MustParseAddress(fmt.Sprintf("sender%d@remote%d.example", i, i%7))
 	}
 
+	// Spool traffic: every challenge walks enqueue -> attempts ->
+	// terminal through the journalled Recorder, exactly the transitions
+	// the outbound queue makes. pendingIDs mirrors the live spool's
+	// pending set (rebuilt from recovered state after each crash).
+	var spoolSeq int
+	challengeFrom := mail.MustParseAddress("challenge@corp.example")
+	spoolEnqueue := func() {
+		spoolSeq++
+		id := fmt.Sprintf("chal-%06d", spoolSeq)
+		live.rec.Enqueue(clk.Now(), spool.Challenge{
+			MsgID:   id,
+			Token:   fmt.Sprintf("tok-%06d", spoolSeq),
+			From:    challengeFrom,
+			To:      sender(rng.Intn(200)),
+			Subject: "please confirm",
+			URL:     fmt.Sprintf("https://corp.example/c/%06d", spoolSeq),
+			Size:    1800,
+			Issued:  clk.Now(),
+		})
+	}
+	randPending := func() (spool.Item, bool) {
+		p := live.sp.Pending()
+		if len(p) == 0 {
+			return spool.Item{}, false
+		}
+		return p[rng.Intn(len(p))], true
+	}
+
 	mutate := func() {
 		u := users[rng.Intn(len(users))]
 		s := sender(rng.Intn(200))
-		switch rng.Intn(10) {
+		switch rng.Intn(14) {
 		case 0, 1, 2:
 			live.wl.AddWhite(u, s, whitelist.Source(rng.Intn(5)))
 		case 3:
@@ -170,6 +220,22 @@ func CrashRestart(seed int64, crashes int) (*CrashRestartReport, error) {
 			live.wl.RemoveWhite(u, s)
 		case 5:
 			live.gl.Check(fmt.Sprintf("203.0.113.%d", rng.Intn(64)), s, u)
+		case 10, 11:
+			spoolEnqueue()
+		case 12:
+			if it, ok := randPending(); ok {
+				live.rec.Attempt(clk.Now(), it.Challenge.MsgID, "tempfail", "451 try again later",
+					it.Attempts+1, clk.Now().Add(15*time.Minute))
+			} else {
+				spoolEnqueue()
+			}
+		case 13:
+			if it, ok := randPending(); ok {
+				st := []spool.Status{spool.StatusSent, spool.StatusBounced, spool.StatusExpired}[rng.Intn(3)]
+				live.rec.Terminal(clk.Now(), it.Challenge.MsgID, st, "", "", it.Attempts+1)
+			} else {
+				spoolEnqueue()
+			}
 		default:
 			live.rep.Record(s, fmt.Sprintf("198.51.100.%d", rng.Intn(64)), reputation.Outcome(rng.Intn(6)))
 		}
@@ -188,7 +254,7 @@ func CrashRestart(seed int64, crashes int) (*CrashRestartReport, error) {
 		if err := live.log.Rotate(); err != nil {
 			return err
 		}
-		st := store.Stores{Whitelist: live.wl, Reputation: live.rep, Greylist: live.gl}
+		st := store.Stores{Whitelist: live.wl, Reputation: live.rep, Greylist: live.gl, Spool: live.sp}
 		if err := store.SaveFile(live.snapPath(), "crash-restart", st, cut, clk.Now()); err != nil {
 			return err
 		}
@@ -256,7 +322,7 @@ func CrashRestart(seed int64, crashes int) (*CrashRestartReport, error) {
 		}
 
 		// Cold boot on the crash image.
-		st := store.Stores{Whitelist: next.wl, Reputation: next.rep, Greylist: next.gl}
+		st := store.Stores{Whitelist: next.wl, Reputation: next.rep, Greylist: next.gl, Spool: next.sp}
 		rec, err := store.Recover(next.snapPath(), crashWALOpts(next.walDir()), st)
 		if err != nil {
 			return nil, fmt.Errorf("crash %d: recovery refused to boot: %w", c, err)
@@ -279,6 +345,7 @@ func CrashRestart(seed int64, crashes int) (*CrashRestartReport, error) {
 		shadowWL := whitelist.NewStore(clk)
 		shadowRep := reputation.NewStore(reputation.Config{}, clk)
 		shadowGL := greylist.New(greylist.Config{}, clk)
+		shadowSp := spool.NewState()
 		m := point.RecoveredLSN
 		if m > uint64(len(committed)) {
 			point.Detail = fmt.Sprintf("recovered LSN %d beyond %d committed records", m, len(committed))
@@ -286,6 +353,9 @@ func CrashRestart(seed int64, crashes int) (*CrashRestartReport, error) {
 			for _, r := range committed[:m] {
 				if err := wal.Apply(r, shadowWL, shadowRep, shadowGL); err != nil {
 					return nil, fmt.Errorf("crash %d: shadow fold: %w", c, err)
+				}
+				if err := spool.Apply(r, shadowSp); err != nil {
+					return nil, fmt.Errorf("crash %d: shadow spool fold: %w", c, err)
 				}
 			}
 			wlA, wlB := mustJSON(shadowWL.Export()), mustJSON(next.wl.Export())
@@ -297,6 +367,12 @@ func CrashRestart(seed int64, crashes int) (*CrashRestartReport, error) {
 				point.Detail = "reputation diverged from shadow"
 			default:
 				point.StateIdentical = true
+			}
+			spA, spB := mustJSON(shadowSp.Export()), mustJSON(next.sp.Export())
+			if bytes.Equal(spA, spB) {
+				point.SpoolIdentical = true
+			} else if point.Detail == "" {
+				point.Detail = "spool diverged from shadow"
 			}
 		}
 		report.Points = append(report.Points, point)
@@ -330,7 +406,7 @@ func (r *CrashRestartReport) Render() string {
 		"crash", "appended", "durable", "recovered", "replayed", "torn", "tornBytes", "lost", "state")
 	for i, p := range r.Points {
 		state := "IDENTICAL"
-		if !p.StateIdentical {
+		if !p.StateIdentical || !p.SpoolIdentical {
 			state = "DIVERGED: " + p.Detail
 		}
 		torn := "-"
@@ -346,6 +422,12 @@ func (r *CrashRestartReport) Render() string {
 			len(r.Points))
 	} else {
 		b.WriteString("crash safety: FAIL — see diverged/lost crash points above\n")
+	}
+	if r.SpoolPass() {
+		fmt.Fprintf(&b, "spool recovery: PASS — pending challenge spool byte-identical at all %d crash points, zero acked challenges lost\n",
+			len(r.Points))
+	} else {
+		b.WriteString("spool recovery: FAIL — see diverged crash points above\n")
 	}
 	return b.String()
 }

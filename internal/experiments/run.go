@@ -48,6 +48,10 @@ type RunConfig struct {
 	// per-lane "surge" fault target. Unlike FaultPlan it does not force
 	// serial execution.
 	SurgePlan *faults.Plan
+	// EmitDSNs closes the challenge feedback loop through real RFC 3464
+	// DSN messages (workload.Config.EmitDSNs): engines learn challenge
+	// fates by parsing bounces rather than from the transport callback.
+	EmitDSNs bool
 }
 
 // Quick is the preset used by unit tests and benchmarks: small but large
@@ -90,6 +94,7 @@ func NewRun(cfg RunConfig) *Run {
 	wcfg.Overload = cfg.Overload
 	wcfg.SurgeBursts = cfg.SurgeBursts
 	wcfg.SurgePlan = cfg.SurgePlan
+	wcfg.EmitDSNs = cfg.EmitDSNs
 	for i := range wcfg.Profiles {
 		p := &wcfg.Profiles[i]
 		p.Users = max(5, int(float64(p.Users)*cfg.UserScale))
@@ -111,10 +116,11 @@ type AggregateMetrics struct {
 
 func newMetrics() core.Metrics {
 	return core.Metrics{
-		MTADropped:     make(map[core.MTAReason]int64),
-		FilterDropped:  make(map[string]int64),
-		FilterDegraded: make(map[string]int64),
-		Delivered:      make(map[core.DeliveryVia]int64),
+		MTADropped:       make(map[core.MTAReason]int64),
+		FilterDropped:    make(map[string]int64),
+		FilterDegraded:   make(map[string]int64),
+		Delivered:        make(map[core.DeliveryVia]int64),
+		ChallengeBounced: make(map[string]int64),
 	}
 }
 
@@ -144,6 +150,11 @@ func addInto(dst *core.Metrics, m core.Metrics) {
 	}
 	for k, v := range m.Delivered {
 		dst.Delivered[k] += v
+	}
+	dst.ChallengeLoopSuppressed += m.ChallengeLoopSuppressed
+	dst.DSNOrphaned += m.DSNOrphaned
+	for k, v := range m.ChallengeBounced {
+		dst.ChallengeBounced[k] += v
 	}
 }
 

@@ -24,18 +24,65 @@ type ClusteringResult struct {
 	SpuriousDeliveries int
 	// SpuriousPerChallenge = SpuriousDeliveries / challenges sent.
 	SpuriousPerChallenge float64
+	// DSN cross-validation, meaningful when the run emitted DSNs
+	// (RunConfig.EmitDSNs): TruthBounced counts challenges the
+	// simulator bounced (omniscient truth); ObservedBounced counts
+	// challenges the engines independently learned about by parsing and
+	// correlating an inbound DSN; BounceAgreement is the fraction of
+	// truth bounces the DSN loop reproduced. The paper's methodology is
+	// log-derived, so the engines' own view must track truth.
+	TruthBounced    int
+	ObservedBounced int
+	BounceAgreement float64
 }
 
-// Clustering computes E8 and E16 from the challenge records.
+// Clustering computes E8 and E16 from the challenge records. With DSNs
+// enabled, the per-item bounce flag comes from the engines' own DSN
+// feedback (what a real deployment can observe) and is cross-validated
+// against simulator truth; without DSNs it comes from simulator truth
+// directly.
 func Clustering(r *Run) ClusteringResult {
+	// Merge every engine's DSN-observed bounce map: originating gray
+	// message ID -> bounce class.
+	observed := make(map[string]string)
+	if r.Cfg.EmitDSNs {
+		for _, c := range r.Fleet.Companies {
+			for id, class := range c.Engine.ObservedBounces() {
+				observed[id] = class
+			}
+		}
+	}
+	observedBounced := func(id string) bool {
+		switch observed[id] {
+		case "no-user", "no-domain", "blocklisted":
+			return true
+		}
+		return false
+	}
+
+	var out ClusteringResult
 	var items []cluster.Item
 	for _, rec := range r.Fleet.Net.Records() {
+		truth := rec.Status.Bounced()
+		bounced := truth
+		if r.Cfg.EmitDSNs {
+			bounced = observedBounced(rec.Challenge.MsgID)
+		}
+		if truth {
+			out.TruthBounced++
+			if observedBounced(rec.Challenge.MsgID) {
+				out.ObservedBounced++
+			}
+		}
 		items = append(items, cluster.Item{
 			Subject: rec.Challenge.Subject,
 			Sender:  rec.Challenge.To,
-			Bounced: rec.Status.Bounced(),
+			Bounced: bounced,
 			Solved:  rec.Solved,
 		})
+	}
+	if out.TruthBounced > 0 {
+		out.BounceAgreement = float64(out.ObservedBounced) / float64(out.TruthBounced)
 	}
 	cfg := cluster.DefaultConfig()
 	// Scaled-down runs produce proportionally smaller campaigns; keep
@@ -48,7 +95,7 @@ func Clustering(r *Run) ClusteringResult {
 		cfg.MinSize = max(10, int(50*r.Cfg.VolumeScale*3))
 	}
 	clusters := cluster.Build(items, cfg)
-	out := ClusteringResult{Stats: cluster.Summarize(clusters)}
+	out.Stats = cluster.Summarize(clusters)
 
 	var challenges int64
 	for _, c := range r.Fleet.Companies {

@@ -24,6 +24,9 @@
 //	surge           per-message engine service latency (overload/surge runs)
 //	wal-append      write-ahead-log record appends (internal/wal)
 //	wal-fsync       write-ahead-log group-commit fsyncs (durability stalls)
+//	wal-spool       outbound-spool journal appends (per-transition drops)
+//	outbound-dsn    DSN generation at the remote MTA (malformed bounces)
+//	domain:<name>   one destination domain's delivery path (dark MX)
 //
 // Unknown targets are rejected at plan load: Validate checks every
 // rule's target against this list (plus "rbl:<name>" and prefix
@@ -174,7 +177,7 @@ type Plan struct {
 // a trailing '*' wildcard is checked against these prefixes.
 var validTargets = []string{
 	"dns", "av", "smarthost", "smarthost-dial", "store", "reputation", "surge",
-	"wal-append", "wal-fsync",
+	"wal-append", "wal-fsync", "wal-spool", "outbound-dsn",
 }
 
 // validTarget reports whether a rule's target can ever match a real
@@ -183,12 +186,15 @@ func validTarget(target string) bool {
 	if strings.HasPrefix(target, "rbl:") && len(target) > len("rbl:") {
 		return true // provider names (and "rbl:*") are deployment-defined
 	}
+	if strings.HasPrefix(target, "domain:") && len(target) > len("domain:") {
+		return true // destination domains are deployment-defined
+	}
 	if prefix, ok := strings.CutSuffix(target, "*"); ok {
 		if prefix == "" {
 			return true // "*" matches everything by construction
 		}
 		for _, t := range validTargets {
-			if strings.HasPrefix(t, prefix) || strings.HasPrefix("rbl:", prefix) {
+			if strings.HasPrefix(t, prefix) || strings.HasPrefix("rbl:", prefix) || strings.HasPrefix("domain:", prefix) {
 				return true
 			}
 		}

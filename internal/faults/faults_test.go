@@ -169,7 +169,7 @@ func TestDescribe(t *testing.T) {
 }
 
 func TestValidateRejectsUnknownTargets(t *testing.T) {
-	bad := []string{"dsn", "smartohst", "rbl", "av2", "surge-x", "q*"}
+	bad := []string{"dsn", "smartohst", "rbl", "av2", "surge-x", "q*", "domain:", "wal-spool2", "outbound", "spool"}
 	for _, target := range bad {
 		p := &Plan{Rules: []Rule{{Target: target, Kind: KindTimeout}}}
 		err := p.Validate()
@@ -184,6 +184,7 @@ func TestValidateRejectsUnknownTargets(t *testing.T) {
 	good := []string{
 		"dns", "av", "smarthost", "smarthost-dial", "store", "reputation",
 		"surge", "rbl:spamhaus", "rbl:*", "smarthost*", "s*", "*",
+		"wal-spool", "outbound-dsn", "wal-*", "domain:dark.example", "domain:*",
 	}
 	for _, target := range good {
 		p := &Plan{Rules: []Rule{{Target: target, Kind: KindTimeout}}}

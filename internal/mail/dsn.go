@@ -1,0 +1,200 @@
+package mail
+
+import (
+	"strings"
+)
+
+// DSNClass buckets a bounce by what its enhanced status code says went
+// wrong. The classes mirror the challenge fates the paper measures:
+// dead mailboxes, dead domains, blocklisted challenge senders (§5.1)
+// and retry-schedule expiry.
+type DSNClass string
+
+// DSN classes.
+const (
+	// DSNNoUser: the mailbox does not exist (5.1.1) — the dominant
+	// bounce class for challenges to spoofed senders.
+	DSNNoUser DSNClass = "no-user"
+	// DSNNoDomain: the destination domain does not resolve or accept
+	// mail (5.1.2, 5.4.4).
+	DSNNoDomain DSNClass = "no-domain"
+	// DSNBlocklisted: the remote MX refused the connection on policy,
+	// typically an RBL listing of the challenge sender (5.7.1).
+	DSNBlocklisted DSNClass = "blocklisted"
+	// DSNExpired: the reporting MTA gave up after its retry schedule
+	// (4.4.7).
+	DSNExpired DSNClass = "expired"
+	// DSNOther: a syntactically valid status outside the classes above.
+	DSNOther DSNClass = "other"
+)
+
+// DSN is the machine-readable content of a delivery status
+// notification, extracted from a null-sender bounce message.
+type DSN struct {
+	// Action is the RFC 3464 Action field ("failed", "delayed", ...).
+	Action string
+	// Status is the enhanced status code ("5.1.1"); empty if the DSN
+	// carried none or an unparsable one.
+	Status string
+	// Class is the bounce classification derived from Status;
+	// DSNOther when Status is empty or unrecognised.
+	Class DSNClass
+	// OriginalMessageID is the ID of the message whose delivery failed
+	// — for a bounced challenge, the original gray message's ID. Empty
+	// when the reporting MTA did not echo it.
+	OriginalMessageID string
+	// FinalRecipient is the address the failed delivery was for.
+	FinalRecipient string
+	// Diagnostic is the free-text Diagnostic-Code field.
+	Diagnostic string
+}
+
+// dsnScanLimits bound how much of a hostile body the parser inspects.
+const (
+	maxDSNLines    = 200
+	maxDSNLineLen  = 1024
+	maxDSNScanSize = 64 << 10
+)
+
+// ParseDSN extracts DSN fields from a null-sender message. It returns
+// ok=false when the message is not recognisably a DSN: the envelope
+// sender is non-null, or the body carries neither a valid enhanced
+// status code nor an original message ID. Unrecognisable or garbled
+// field values degrade to empty fields, never to an error — a bounce
+// processor must survive whatever remote MTAs produce.
+func ParseDSN(m *Message) (*DSN, bool) {
+	if m == nil || !m.EnvelopeFrom.IsNull() {
+		return nil, false
+	}
+	d := parseDSNBody(m.Body)
+	if d.Status == "" && d.OriginalMessageID == "" {
+		return nil, false
+	}
+	return d, true
+}
+
+// parseDSNBody scans body for RFC 3464-style fields. Exported-for-fuzz
+// via ParseDSN; tolerant of 8-bit garbage, missing fields and absurd
+// line lengths.
+func parseDSNBody(body string) *DSN {
+	if len(body) > maxDSNScanSize {
+		body = body[:maxDSNScanSize]
+	}
+	d := &DSN{Class: DSNOther}
+	lines := 0
+	for len(body) > 0 && lines < maxDSNLines {
+		var line string
+		if i := strings.IndexByte(body, '\n'); i >= 0 {
+			line, body = body[:i], body[i+1:]
+		} else {
+			line, body = body, ""
+		}
+		line = strings.TrimRight(line, "\r")
+		lines++
+		if len(line) > maxDSNLineLen {
+			continue
+		}
+		if v, ok := cutField(line, "Status"); ok && d.Status == "" {
+			if validEnhancedStatus(v) {
+				d.Status = v
+				d.Class = classifyStatus(v)
+			}
+		} else if v, ok := cutField(line, "Action"); ok && d.Action == "" {
+			d.Action = strings.ToLower(v)
+		} else if v, ok := cutField(line, "X-Original-Message-ID"); ok && d.OriginalMessageID == "" {
+			d.OriginalMessageID = trimAngles(v)
+		} else if v, ok := cutField(line, "Original-Message-ID"); ok && d.OriginalMessageID == "" {
+			d.OriginalMessageID = trimAngles(v)
+		} else if v, ok := cutField(line, "Final-Recipient"); ok && d.FinalRecipient == "" {
+			// RFC 3464: "address-type; address".
+			if i := strings.IndexByte(v, ';'); i >= 0 {
+				v = v[i+1:]
+			}
+			d.FinalRecipient = trimAngles(strings.TrimSpace(v))
+		} else if v, ok := cutField(line, "Diagnostic-Code"); ok && d.Diagnostic == "" {
+			d.Diagnostic = v
+		}
+	}
+	return d
+}
+
+// cutField matches "Name: value" case-insensitively on the field name.
+func cutField(line, name string) (string, bool) {
+	if len(line) <= len(name) || line[len(name)] != ':' {
+		return "", false
+	}
+	if !strings.EqualFold(line[:len(name)], name) {
+		return "", false
+	}
+	return strings.TrimSpace(line[len(name)+1:]), true
+}
+
+// trimAngles reduces "<x>" to "x".
+func trimAngles(s string) string {
+	s = strings.TrimSpace(s)
+	if len(s) >= 2 && s[0] == '<' && s[len(s)-1] == '>' {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+// validEnhancedStatus reports whether s is an RFC 3463 enhanced status
+// code: class.subject.detail with class 2, 4 or 5 and numeric
+// components of at most three digits.
+func validEnhancedStatus(s string) bool {
+	parts := strings.Split(s, ".")
+	if len(parts) != 3 {
+		return false
+	}
+	if parts[0] != "2" && parts[0] != "4" && parts[0] != "5" {
+		return false
+	}
+	for _, p := range parts[1:] {
+		if len(p) == 0 || len(p) > 3 {
+			return false
+		}
+		for i := 0; i < len(p); i++ {
+			if p[i] < '0' || p[i] > '9' {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// classifyStatus maps a valid enhanced status code to its bounce class.
+func classifyStatus(s string) DSNClass {
+	switch s {
+	case "5.1.1":
+		return DSNNoUser
+	case "5.1.2", "5.4.4":
+		return DSNNoDomain
+	case "5.7.1":
+		return DSNBlocklisted
+	case "4.4.7":
+		return DSNExpired
+	default:
+		return DSNOther
+	}
+}
+
+// FormatDSNBody renders the machine-readable part of a bounce body the
+// way simnet's remote MTAs (and tests) produce it: a human sentence
+// followed by an RFC 3464-style per-recipient field block. ParseDSN is
+// its inverse.
+func FormatDSNBody(finalRcpt, status, diagnostic, originalMsgID string) string {
+	var b strings.Builder
+	b.WriteString("This is the mail system; delivery failed.\r\n\r\n")
+	b.WriteString("Final-Recipient: rfc822; " + finalRcpt + "\r\n")
+	b.WriteString("Action: failed\r\n")
+	if status != "" {
+		b.WriteString("Status: " + status + "\r\n")
+	}
+	if diagnostic != "" {
+		b.WriteString("Diagnostic-Code: smtp; " + diagnostic + "\r\n")
+	}
+	if originalMsgID != "" {
+		b.WriteString("X-Original-Message-ID: <" + originalMsgID + ">\r\n")
+	}
+	return b.String()
+}

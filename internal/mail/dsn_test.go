@@ -1,0 +1,166 @@
+package mail
+
+import (
+	"strings"
+	"testing"
+)
+
+func dsnMessage(body string) *Message {
+	return &Message{
+		ID:           NewID("b"),
+		EnvelopeFrom: Address{}, // null reverse-path, as RFC 3464 requires
+		Rcpt:         MustParseAddress("challenge@corp.example"),
+		Subject:      "Undelivered Mail Returned to Sender",
+		Body:         body,
+	}
+}
+
+func TestParseDSNRoundTrip(t *testing.T) {
+	body := FormatDSNBody("spoofed@victim.example", "5.1.1", "550 no such user", "msg-000042")
+	d, ok := ParseDSN(dsnMessage(body))
+	if !ok {
+		t.Fatal("ParseDSN rejected a well-formed DSN")
+	}
+	if d.Status != "5.1.1" || d.Class != DSNNoUser {
+		t.Fatalf("status/class = %q/%q", d.Status, d.Class)
+	}
+	if d.OriginalMessageID != "msg-000042" {
+		t.Fatalf("original message ID = %q", d.OriginalMessageID)
+	}
+	if d.FinalRecipient != "spoofed@victim.example" {
+		t.Fatalf("final recipient = %q", d.FinalRecipient)
+	}
+	if d.Action != "failed" {
+		t.Fatalf("action = %q", d.Action)
+	}
+	if !strings.Contains(d.Diagnostic, "no such user") {
+		t.Fatalf("diagnostic = %q", d.Diagnostic)
+	}
+}
+
+func TestParseDSNClasses(t *testing.T) {
+	cases := []struct {
+		status string
+		want   DSNClass
+	}{
+		{"5.1.1", DSNNoUser},
+		{"5.1.2", DSNNoDomain},
+		{"5.4.4", DSNNoDomain},
+		{"5.7.1", DSNBlocklisted},
+		{"4.4.7", DSNExpired},
+		{"5.0.0", DSNOther},
+		{"2.0.0", DSNOther},
+	}
+	for _, c := range cases {
+		body := FormatDSNBody("x@y.example", c.status, "", "id-1")
+		d, ok := ParseDSN(dsnMessage(body))
+		if !ok {
+			t.Fatalf("status %s: rejected", c.status)
+		}
+		if d.Class != c.want {
+			t.Fatalf("status %s: class = %q, want %q", c.status, d.Class, c.want)
+		}
+	}
+}
+
+func TestParseDSNRejectsNonBounces(t *testing.T) {
+	// Non-null envelope sender: not a DSN no matter what the body says.
+	m := dsnMessage(FormatDSNBody("x@y.example", "5.1.1", "", "id-1"))
+	m.EnvelopeFrom = MustParseAddress("human@elsewhere.example")
+	if _, ok := ParseDSN(m); ok {
+		t.Fatal("accepted a DSN from a non-null sender")
+	}
+	// Null sender but neither a status nor an original message ID.
+	if _, ok := ParseDSN(dsnMessage("Sorry, something went wrong.\r\n")); ok {
+		t.Fatal("accepted a bodyless bounce as a DSN")
+	}
+	if _, ok := ParseDSN(nil); ok {
+		t.Fatal("accepted a nil message")
+	}
+}
+
+func TestParseDSNMalformedStatusDegrades(t *testing.T) {
+	// An invalid enhanced status code degrades to empty Status, and the
+	// echoed message ID alone still makes the bounce correlatable.
+	body := "Final-Recipient: rfc822; a@b.example\r\n" +
+		"Status: 5.1\r\n" + // two components, invalid
+		"X-Original-Message-ID: <msg-7>\r\n"
+	d, ok := ParseDSN(dsnMessage(body))
+	if !ok {
+		t.Fatal("rejected a correlatable bounce with a bad status")
+	}
+	if d.Status != "" || d.Class != DSNOther {
+		t.Fatalf("status/class = %q/%q, want empty/other", d.Status, d.Class)
+	}
+	if d.OriginalMessageID != "msg-7" {
+		t.Fatalf("original message ID = %q", d.OriginalMessageID)
+	}
+}
+
+func TestParseDSNMissingOriginalMessageID(t *testing.T) {
+	d, ok := ParseDSN(dsnMessage(FormatDSNBody("a@b.example", "5.1.2", "", "")))
+	if !ok {
+		t.Fatal("rejected a DSN with a valid status and no message ID")
+	}
+	if d.OriginalMessageID != "" || d.Class != DSNNoDomain {
+		t.Fatalf("got %+v", d)
+	}
+}
+
+func TestParseDSNSurvivesGarbage(t *testing.T) {
+	bodies := []string{
+		"\xff\xfe<<host not found>> =?garbage?= \x00",
+		strings.Repeat("A", 100<<10),
+		"Status: " + strings.Repeat("5", 2000) + "\r\nX-Original-Message-ID: <m>\r\n",
+		strings.Repeat("Status: nope\n", 10000),
+		"Status:\x00 5.1.1\nOriginal-Message-ID: <\x7f>\n",
+	}
+	for i, body := range bodies {
+		d, ok := ParseDSN(dsnMessage(body))
+		if ok && d.Status != "" && !validEnhancedStatus(d.Status) {
+			t.Fatalf("case %d: accepted invalid status %q", i, d.Status)
+		}
+	}
+}
+
+func TestValidEnhancedStatus(t *testing.T) {
+	valid := []string{"5.1.1", "4.4.7", "2.0.0", "5.999.999"}
+	invalid := []string{"", "5", "5.1", "5.1.1.1", "6.1.1", "5.a.1", "5.1111.1", "5..1", "x.y.z"}
+	for _, s := range valid {
+		if !validEnhancedStatus(s) {
+			t.Fatalf("rejected valid status %q", s)
+		}
+	}
+	for _, s := range invalid {
+		if validEnhancedStatus(s) {
+			t.Fatalf("accepted invalid status %q", s)
+		}
+	}
+}
+
+// FuzzParseDSN asserts the parser never panics and never emits an
+// invalid enhanced status code, no matter the body: remote MTAs produce
+// arbitrary bytes and the bounce processor sits on the public MX path.
+func FuzzParseDSN(f *testing.F) {
+	f.Add(FormatDSNBody("a@b.example", "5.1.1", "550 no such user", "msg-1"))
+	f.Add(FormatDSNBody("a@b.example", "4.4.7", "", ""))
+	f.Add("Status: 5.1\r\nAction: failed")
+	f.Add("\xff\xfe<<host not found>> =?garbage?= \x00")
+	f.Add("X-Original-Message-ID: <" + strings.Repeat("m", 5000) + ">")
+	f.Add(strings.Repeat("Final-Recipient: rfc822; a@b\n", 500))
+	f.Fuzz(func(t *testing.T, body string) {
+		d, ok := ParseDSN(dsnMessage(body))
+		if !ok {
+			return
+		}
+		if d.Status == "" && d.OriginalMessageID == "" {
+			t.Fatal("accepted a DSN with neither status nor message ID")
+		}
+		if d.Status != "" && !validEnhancedStatus(d.Status) {
+			t.Fatalf("emitted invalid status %q", d.Status)
+		}
+		if d.Status == "" && d.Class != DSNOther {
+			t.Fatalf("class %q without a status", d.Class)
+		}
+	})
+}

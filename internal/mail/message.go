@@ -48,6 +48,13 @@ type Message struct {
 	// HeloDomain is the domain announced in HELO/EHLO, used by SPF.
 	HeloDomain string
 
+	// AutoSubmitted is the RFC 3834 Auto-Submitted: header value
+	// ("auto-replied", "auto-generated", ...; empty when absent or
+	// "no"). Challenge emails set it, so a CR system receiving another
+	// CR system's challenge can suppress the counter-challenge instead
+	// of starting a challenge loop.
+	AutoSubmitted string
+
 	// Received is when the MTA-IN accepted the message.
 	Received time.Time
 }

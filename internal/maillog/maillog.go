@@ -61,6 +61,17 @@ const (
 	// dropped, so these events account for time-shifted — not lost —
 	// deliveries.
 	KindOverload Kind = "overload"
+	// KindBounce: an inbound DSN reported a challenge undeliverable
+	// (fields: class, status, domain — the bounce classification, the
+	// enhanced status code and the destination domain the challenge
+	// could not reach). The §5.1 challenge-fate statistics aggregate
+	// these.
+	KindBounce Kind = "bounce"
+	// KindLoopSuppressed: a gray message carried an Auto-Submitted
+	// header (RFC 3834) — another CR system's challenge or some other
+	// autoresponder — and was quarantined without a counter-challenge
+	// to break the CR-to-CR challenge loop (fields: from, auto).
+	KindLoopSuppressed Kind = "loop-suppressed"
 )
 
 // maxInlinePairs is the number of key/value pairs an Event carries
@@ -351,6 +362,12 @@ type CompanyAggregate struct {
 	Degraded    map[string]int64 // degraded-mode fallbacks, by component
 	Reputation  map[string]int64 // reputation decisions, by action
 	Overload    map[string]int64 // admission sheds, by reason
+	// Bounces counts challenge bounces by DSN class (no-user,
+	// no-domain, blocklisted, expired, other); LoopSuppressed counts
+	// gray messages quarantined without a challenge because they were
+	// themselves auto-submitted.
+	Bounces        map[string]int64
+	LoopSuppressed int64
 }
 
 func newCompanyAggregate() *CompanyAggregate {
@@ -362,6 +379,7 @@ func newCompanyAggregate() *CompanyAggregate {
 		Degraded:    make(map[string]int64),
 		Reputation:  make(map[string]int64),
 		Overload:    make(map[string]int64),
+		Bounces:     make(map[string]int64),
 	}
 }
 
@@ -428,6 +446,10 @@ func (a *Aggregate) Add(e Event) {
 			c.Reputation[e.Field("action")]++
 		case KindOverload:
 			c.Overload[e.Field("reason")]++
+		case KindBounce:
+			c.Bounces[e.Field("class")]++
+		case KindLoopSuppressed:
+			c.LoopSuppressed++
 		}
 	}
 }
@@ -464,6 +486,7 @@ func (c *CompanyAggregate) Merge(o *CompanyAggregate) {
 	c.WebVisits += o.WebVisits
 	c.WebSolves += o.WebSolves
 	c.InBytes += o.InBytes
+	c.LoopSuppressed += o.LoopSuppressed
 	mergeCounts(c.MTADrops, o.MTADrops)
 	mergeCounts(c.Spools, o.Spools)
 	mergeCounts(c.FilterDrops, o.FilterDrops)
@@ -471,6 +494,7 @@ func (c *CompanyAggregate) Merge(o *CompanyAggregate) {
 	mergeCounts(c.Degraded, o.Degraded)
 	mergeCounts(c.Reputation, o.Reputation)
 	mergeCounts(c.Overload, o.Overload)
+	mergeCounts(c.Bounces, o.Bounces)
 }
 
 func mergeCounts(dst, src map[string]int64) {

@@ -335,3 +335,41 @@ func TestAggregateMerge(t *testing.T) {
 		}
 	}
 }
+
+// TestBounceAndLoopEventsTally covers the DSN-feedback event kinds: the
+// aggregate reconstructs per-class challenge bounce counts and the
+// loop-suppression total from the log alone.
+func TestBounceAndLoopEventsTally(t *testing.T) {
+	var sb strings.Builder
+	w := maillog.NewWriter(&sb)
+	emit := func(kind maillog.Kind, fields map[string]string) {
+		w.Write(maillog.Event{Time: t0, Company: "corp", Kind: kind, MsgID: "m-1", Fields: fields})
+	}
+	emit(maillog.KindBounce, map[string]string{"class": "no-user", "status": "5.1.1", "domain": "victim.example"})
+	emit(maillog.KindBounce, map[string]string{"class": "no-user", "status": "5.1.1", "domain": "other.example"})
+	emit(maillog.KindBounce, map[string]string{"class": "blocklisted", "status": "5.7.1", "domain": "strict.example"})
+	emit(maillog.KindLoopSuppressed, map[string]string{"from": "challenge@peer.example", "auto": "auto-replied"})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	agg, err := maillog.ParseAll(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := agg.Total()
+	if tot.Bounces["no-user"] != 2 || tot.Bounces["blocklisted"] != 1 {
+		t.Fatalf("bounces = %v", tot.Bounces)
+	}
+	if tot.LoopSuppressed != 1 {
+		t.Fatalf("loop suppressed = %d", tot.LoopSuppressed)
+	}
+	// Merge preserves both tallies.
+	agg2, err := maillog.ParseAll(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot.Merge(agg2.Total())
+	if tot.Bounces["no-user"] != 4 || tot.LoopSuppressed != 2 {
+		t.Fatalf("merged = %+v", tot)
+	}
+}

@@ -33,6 +33,19 @@ func LogSummary(agg *maillog.Aggregate) *Table {
 	}
 	t.AddRow("Challenge-page visits", tot.WebVisits)
 	t.AddRow("CAPTCHA solves", tot.WebSolves)
+	// Challenge fates observed through the DSN feedback loop (§5.1:
+	// most challenges to spoofed senders bounce).
+	var bounces int64
+	for _, cls := range sortedKeys(tot.Bounces) {
+		t.AddRow("Challenge bounce: "+cls, tot.Bounces[cls])
+		bounces += tot.Bounces[cls]
+	}
+	if tot.Challenges > 0 && bounces > 0 {
+		t.AddRow("Challenge bounce rate", fmt.Sprintf("%.1f%%", float64(bounces)/float64(tot.Challenges)*100))
+	}
+	if tot.LoopSuppressed > 0 {
+		t.AddRow("Challenge loops suppressed", tot.LoopSuppressed)
+	}
 	t.AddRow("Reflection ratio (CR)", fmt.Sprintf("%.1f%%", tot.ReflectionRatio()*100))
 	t.AddRow("Solve rate", fmt.Sprintf("%.1f%%", tot.SolveRate()*100))
 	return t

@@ -10,6 +10,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/dnssim"
+	"repro/internal/faults"
 	"repro/internal/mail"
 	"repro/internal/rbl"
 )
@@ -156,8 +157,15 @@ type Config struct {
 	// a real delivery-status-notification message delivered back to the
 	// originating company's MTA-IN (null envelope sender, per RFC 3464).
 	// This closes the loop the paper's administrators saw in their logs:
-	// a CR server's inbox fills with bounces of its own challenges.
+	// a CR server's inbox fills with bounces of its own challenges. With
+	// DSNs on, the engine learns bounce outcomes from the DSNs it parses
+	// (processDSN) rather than from a direct transport-layer callback —
+	// the two paths are never both active, so bounces count once.
 	EmitDSNs bool
+	// Injector is an optional fault source. Target "outbound-dsn"
+	// garbles the machine-readable block of an emitted DSN, modelling a
+	// reporting MTA whose bounce format the parser cannot read.
+	Injector faults.Injector
 }
 
 // DefaultRetrySchedule mirrors a conventional MTA queue: growing backoff
@@ -399,11 +407,16 @@ func (n *Network) attemptDelivery(c *Company, rec *ChallengeRecord) {
 	remote := n.remotes[to.Domain]
 	n.mu.Unlock()
 
-	// No server for the domain (or no DNS): hard bounce.
+	// No server for the domain (or no DNS): hard bounce. Without DSNs
+	// the transport layer reports the bounce directly; with DSNs the
+	// engine learns it by parsing the notification (counting it twice
+	// would double the reputation penalty).
 	if remote == nil || !n.domainResolvable(to.Domain) {
 		rec.Status = StatusBouncedNoDomain
-		c.Engine.RecordChallengeBounce(to)
-		n.emitDSN(c, rec, "", "host not found")
+		if !n.cfg.EmitDSNs {
+			c.Engine.RecordChallengeBounce(to)
+		}
+		n.emitDSN(c, rec, "", "5.1.2", "host not found")
 		return
 	}
 
@@ -416,7 +429,7 @@ func (n *Network) attemptDelivery(c *Company, rec *ChallengeRecord) {
 	// challenge-server IP gets a 5xx (permanent) rejection.
 	if remote.Screen != nil && remote.Screen.IsListed(rec.FromIP) {
 		rec.Status = StatusBouncedBlacklisted
-		n.emitDSN(c, rec, remote.IP, "550 connection refused: "+rec.FromIP+" listed on "+remote.Screen.Name())
+		n.emitDSN(c, rec, remote.IP, "5.7.1", "550 connection refused: "+rec.FromIP+" listed on "+remote.Screen.Name())
 		return
 	}
 
@@ -442,9 +455,12 @@ func (n *Network) attemptDelivery(c *Company, rec *ChallengeRecord) {
 		// The spoofed-sender signature: the reputation store learns that
 		// challenges to this sender bounce. (Blacklisted rejections are
 		// the challenge server's own standing, not the sender's, and are
-		// not recorded.)
-		c.Engine.RecordChallengeBounce(to)
-		n.emitDSN(c, rec, remote.IP, "550 no such user: "+to.String())
+		// not recorded.) With DSNs on, the engine's DSN feedback applies
+		// the penalty instead.
+		if !n.cfg.EmitDSNs {
+			c.Engine.RecordChallengeBounce(to)
+		}
+		n.emitDSN(c, rec, remote.IP, "5.1.1", "550 no such user: "+to.String())
 		return
 	}
 
@@ -459,7 +475,10 @@ func (n *Network) attemptDelivery(c *Company, rec *ChallengeRecord) {
 // feeds it back into the originating company's MTA-IN after a transit
 // delay. DSNs use the null reverse-path, so the engine never challenges
 // them (that would loop); they sit in the gray spool for the digest.
-func (n *Network) emitDSN(c *Company, rec *ChallengeRecord, srcIP, reason string) {
+// The body carries an RFC 3464-style field block — enhanced status code
+// plus the original message ID — so the engine's DSN parser can
+// correlate the bounce back to the challenged gray message.
+func (n *Network) emitDSN(c *Company, rec *ChallengeRecord, srcIP, status, reason string) {
 	if !n.cfg.EmitDSNs {
 		return
 	}
@@ -473,12 +492,21 @@ func (n *Network) emitDSN(c *Company, rec *ChallengeRecord, srcIP, reason string
 	if c.lane != nil {
 		id = c.lane.ids.Next()
 	}
+	body := mail.FormatDSNBody(rec.Challenge.To.String(), status, reason, rec.Challenge.MsgID)
+	if n.cfg.Injector != nil {
+		if d := n.cfg.Injector.Decide("outbound-dsn", 0); d.Err != nil {
+			// A garbling reporting MTA: the machine-readable block is
+			// destroyed, so the engine sees an uncorrelatable bounce
+			// and must degrade gracefully, never crash.
+			body = "\xff\xfe<<" + reason + ">> =?garbage?= \x00"
+		}
+	}
 	dsn := &mail.Message{
 		ID:           id,
 		EnvelopeFrom: mail.Null,
 		Rcpt:         rec.Challenge.From,
 		Subject:      "Undelivered Mail Returned to Sender",
-		Body:         "The challenge to <" + rec.Challenge.To.String() + "> failed: " + reason,
+		Body:         body,
 		Size:         1200 + len(reason),
 		ClientIP:     srcIP,
 		Received:     clk.Now(),
@@ -490,7 +518,7 @@ func (n *Network) retryOrExpire(c *Company, rec *ChallengeRecord) {
 	idx := rec.Attempts - 1
 	if idx >= len(n.cfg.RetrySchedule) {
 		rec.Status = StatusExpired
-		n.emitDSN(c, rec, "", "delivery time expired")
+		n.emitDSN(c, rec, "", "4.4.7", "delivery time expired")
 		return
 	}
 	_, sched := n.laneCtx(c)

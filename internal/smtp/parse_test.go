@@ -74,17 +74,30 @@ func TestExtractHeaders(t *testing.T) {
 		"Subject: the subject line\r\n" +
 		"\r\n" +
 		"Subject: not this one (body)\r\n"
-	subject, from := extractHeaders(body)
+	subject, from, autoSub := extractHeaders(body)
 	if subject != "the subject line" {
 		t.Fatalf("subject = %q", subject)
 	}
 	if from.String() != "alice@example.com" {
 		t.Fatalf("from = %v", from)
 	}
+	if autoSub != "" {
+		t.Fatalf("auto-submitted = %q for plain mail", autoSub)
+	}
+}
+
+func TestExtractHeadersAutoSubmitted(t *testing.T) {
+	_, _, autoSub := extractHeaders("Auto-Submitted: Auto-Replied\r\nSubject: x\r\n\r\nbody")
+	if autoSub != "auto-replied" {
+		t.Fatalf("auto-submitted = %q", autoSub)
+	}
+	if _, _, v := extractHeaders("Auto-Submitted: no\r\n\r\nbody"); v != "" {
+		t.Fatalf("Auto-Submitted: no should normalise to empty, got %q", v)
+	}
 }
 
 func TestExtractHeadersMissing(t *testing.T) {
-	subject, from := extractHeaders("no headers at all just a body")
+	subject, from, _ := extractHeaders("no headers at all just a body")
 	// The single line is scanned as a header candidate and matches
 	// nothing; both stay zero.
 	if subject != "" || from != (mail.Address{}) {
@@ -93,7 +106,7 @@ func TestExtractHeadersMissing(t *testing.T) {
 }
 
 func TestExtractHeadersCaseInsensitive(t *testing.T) {
-	subject, from := extractHeaders("SUBJECT: shouty\r\nfrom: <a@b.example>\r\n\r\n")
+	subject, from, _ := extractHeaders("SUBJECT: shouty\r\nfrom: <a@b.example>\r\n\r\n")
 	if subject != "shouty" || from.String() != "a@b.example" {
 		t.Fatalf("subject=%q from=%v", subject, from)
 	}

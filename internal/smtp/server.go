@@ -435,17 +435,18 @@ func (s *session) handleData() error {
 		return err
 	}
 
-	subject, headerFrom := extractHeaders(body)
+	subject, headerFrom, autoSub := extractHeaders(body)
 	base := &mail.Message{
-		ID:           mail.NewID("smtp"),
-		EnvelopeFrom: s.from,
-		HeaderFrom:   headerFrom,
-		Subject:      subject,
-		Size:         len(body),
-		Body:         body,
-		ClientIP:     s.remote,
-		HeloDomain:   s.helo,
-		Received:     s.srv.cfg.Now(),
+		ID:            mail.NewID("smtp"),
+		EnvelopeFrom:  s.from,
+		HeaderFrom:    headerFrom,
+		Subject:       subject,
+		Size:          len(body),
+		Body:          body,
+		ClientIP:      s.remote,
+		HeloDomain:    s.helo,
+		AutoSubmitted: autoSub,
+		Received:      s.srv.cfg.Now(),
 	}
 	var firstErr *Reply
 	delivered := 0
@@ -498,8 +499,10 @@ func (s *session) readData() (string, error) {
 	}
 }
 
-// extractHeaders pulls Subject and From out of a raw message body.
-func extractHeaders(body string) (subject string, headerFrom mail.Address) {
+// extractHeaders pulls Subject, From and Auto-Submitted out of a raw
+// message body. Auto-Submitted normalises "no" (and absence) to "" so
+// consumers can treat any non-empty value as "this is automated mail".
+func extractHeaders(body string) (subject string, headerFrom mail.Address, autoSubmitted string) {
 	for _, line := range strings.Split(body, "\r\n") {
 		if line == "" {
 			break // end of headers
@@ -512,8 +515,14 @@ func extractHeaders(body string) (subject string, headerFrom mail.Address) {
 				headerFrom = a
 			}
 		}
+		if v, ok := cutHeaderField(line, "Auto-Submitted"); ok {
+			v = strings.ToLower(strings.TrimSpace(v))
+			if v != "no" {
+				autoSubmitted = v
+			}
+		}
 	}
-	return subject, headerFrom
+	return subject, headerFrom, autoSubmitted
 }
 
 func cutHeaderField(line, name string) (string, bool) {

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"repro/internal/spool"
 	"repro/internal/wal"
 )
 
@@ -29,9 +30,10 @@ type Recovery struct {
 // LSN > cut and replay again on top of a snapshot that may already
 // contain them — which is safe because every store's Apply is
 // idempotent (whitelist: insert-if-absent / delete; reputation:
-// per-entry LSN guard; greylist: absolute state). Conversely every
-// record with LSN <= cut is guaranteed inside the snapshot: each store
-// serialises (apply, journal) pairs against its export.
+// per-entry LSN guard; greylist: absolute state; spool: per-item LSN
+// guard plus a terminal-fate set). Conversely every record with
+// LSN <= cut is guaranteed inside the snapshot: each store serialises
+// (apply, journal) pairs against its export.
 //
 // A torn WAL tail is truncated, never fatal: the only hard failures are
 // I/O errors and a snapshot newer than this build understands.
@@ -45,7 +47,10 @@ func Recover(snapPath string, walOpts wal.Options, st Stores) (*Recovery, error)
 		fromLSN = snap.WalLSN
 	}
 	log, stats, err := wal.Open(walOpts, fromLSN, func(r wal.Record) error {
-		return wal.Apply(r, st.Whitelist, st.Reputation, st.Greylist)
+		if err := wal.Apply(r, st.Whitelist, st.Reputation, st.Greylist); err != nil {
+			return err
+		}
+		return spool.Apply(r, st.Spool)
 	})
 	if err != nil {
 		return nil, err

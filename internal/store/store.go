@@ -11,10 +11,12 @@
 // sealed segments wholly below the cut. See DESIGN.md's persistence
 // section for the recovery invariants.
 //
-// Quarantined messages and outstanding challenges are deliberately NOT
-// persisted: they are 30-day transient state, and the studied product's
-// failure mode (losing in-flight challenges on failover) is survivable —
-// senders simply get re-challenged.
+// Quarantined messages are deliberately NOT persisted: they are 30-day
+// transient state, and losing them on failover is survivable — senders
+// simply get re-challenged. Outstanding *outbound* challenges are
+// different: the engine has already acked the gray message and decided
+// to challenge, so the pending spool (internal/spool) IS durable state
+// — it rides in the snapshot and its transitions replay from the WAL.
 package store
 
 import (
@@ -31,6 +33,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/greylist"
 	"repro/internal/reputation"
+	"repro/internal/spool"
 	"repro/internal/whitelist"
 )
 
@@ -49,6 +52,7 @@ type Stores struct {
 	Whitelist  *whitelist.Store
 	Reputation *reputation.Store
 	Greylist   *greylist.Store
+	Spool      *spool.State
 }
 
 // Snapshot is the serialised durable state of one installation.
@@ -64,6 +68,9 @@ type Snapshot struct {
 	Reputation []reputation.ExportedEntry `json:"reputation,omitempty"`
 	// Greylist carries the greylist tuple table.
 	Greylist []greylist.ExportedTuple `json:"greylist,omitempty"`
+	// Spool carries the outbound challenge spool: the pending items and
+	// the terminal fates needed for idempotent WAL replay.
+	Spool *spool.ExportedState `json:"spool,omitempty"`
 	// WalLSN is the write-ahead-log cut this snapshot covers: every
 	// journalled mutation with LSN <= WalLSN is folded into the exported
 	// state. Zero when no WAL is attached.
@@ -88,6 +95,10 @@ func Save(w io.Writer, name string, st Stores, walLSN uint64, now time.Time) err
 	}
 	if st.Greylist != nil {
 		snap.Greylist = st.Greylist.Export()
+	}
+	if st.Spool != nil {
+		sp := st.Spool.Export()
+		snap.Spool = &sp
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -123,6 +134,11 @@ func Load(r io.Reader, st Stores) (*Snapshot, error) {
 	}
 	if st.Greylist != nil && len(snap.Greylist) > 0 {
 		st.Greylist.Import(snap.Greylist)
+	}
+	if st.Spool != nil && snap.Spool != nil {
+		if err := st.Spool.Import(*snap.Spool); err != nil {
+			return nil, err
+		}
 	}
 	return &snap, nil
 }

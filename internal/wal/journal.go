@@ -33,6 +33,12 @@ func (j *Journal) Log() *Log { return j.log }
 // before the journal is attached.
 func (j *Journal) SetTap(fn func(Record)) { j.tap = fn }
 
+// Emit journals one externally built record (the outbound spool builds
+// its own transition records) with the same fail-open semantics and tap
+// visibility as the store hooks. It returns the assigned LSN, 0 if the
+// append was dropped.
+func (j *Journal) Emit(r Record) uint64 { return j.append(r) }
+
 // append writes one record, returning its LSN (0 if dropped).
 func (j *Journal) append(r Record) uint64 {
 	lsn, err := j.log.Append(r)

@@ -48,6 +48,26 @@ const (
 	// OpGreylist sets one greylist tuple (User = tuple key, Time =
 	// first-seen, Aux = passed-at unix nanoseconds or 0).
 	OpGreylist
+	// OpSpoolEnqueue admits one outbound challenge into the durable
+	// spool (User = original message ID, Sender = destination address,
+	// Value = challenge size, Aux = issued-at unix nanoseconds, Blob =
+	// JSON of the remaining challenge fields).
+	OpSpoolEnqueue
+	// OpSpoolAttempt records a non-terminal delivery attempt (User =
+	// message ID, Origin = error class, Value = attempt count, Aux =
+	// next-try unix nanoseconds, Blob = last error text).
+	OpSpoolAttempt
+	// OpSpoolSent marks a spool item delivered (User = message ID,
+	// Value = attempt count).
+	OpSpoolSent
+	// OpSpoolBounced marks a spool item permanently rejected (User =
+	// message ID, Origin = error class, Value = attempt count, Blob =
+	// last error text).
+	OpSpoolBounced
+	// OpSpoolExpired marks a spool item expired after exhausting its
+	// retry schedule (User = message ID, Origin = last error class,
+	// Value = attempt count, Blob = last error text).
+	OpSpoolExpired
 )
 
 // String returns the op label.
@@ -63,6 +83,16 @@ func (o Op) String() string {
 		return "reputation"
 	case OpGreylist:
 		return "greylist"
+	case OpSpoolEnqueue:
+		return "spool-enqueue"
+	case OpSpoolAttempt:
+		return "spool-attempt"
+	case OpSpoolSent:
+		return "spool-sent"
+	case OpSpoolBounced:
+		return "spool-bounced"
+	case OpSpoolExpired:
+		return "spool-expired"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -82,6 +112,10 @@ type Record struct {
 	IP     string
 	Value  int64
 	Aux    int64
+	// Blob is an op-specific extension payload appended after the fixed
+	// fields. It decodes to "" from records written before it existed,
+	// and old readers ignore it, so both directions stay compatible.
+	Blob string
 }
 
 // castagnoli is the CRC32-C table (the polynomial with hardware support
@@ -118,6 +152,9 @@ func appendFrame(dst []byte, r *Record) []byte {
 	dst = appendString(dst, r.IP)
 	dst = binary.AppendVarint(dst, r.Value)
 	dst = binary.AppendVarint(dst, r.Aux)
+	if r.Blob != "" {
+		dst = appendString(dst, r.Blob)
+	}
 	payload := dst[p:]
 	binary.LittleEndian.PutUint32(dst[base:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(dst[base+4:], crc32.Checksum(payload, castagnoli))
@@ -203,5 +240,8 @@ func decodePayload(p []byte) (Record, error) {
 	r.IP = str()
 	r.Value = sv()
 	r.Aux = sv()
+	if err == nil && pos < len(p) {
+		r.Blob = str()
+	}
 	return r, err
 }

@@ -723,6 +723,16 @@ func Dump(w io.Writer, path string) error {
 				passed = time.Unix(0, rec.Aux).UTC().Format(time.RFC3339)
 			}
 			fmt.Fprintf(w, " tuple=%s passed=%s", rec.User, passed)
+		case OpSpoolEnqueue:
+			fmt.Fprintf(w, " msg=%s to=%s size=%d", rec.User, rec.Sender, rec.Value)
+		case OpSpoolAttempt:
+			next := "-"
+			if rec.Aux != 0 {
+				next = time.Unix(0, rec.Aux).UTC().Format(time.RFC3339)
+			}
+			fmt.Fprintf(w, " msg=%s attempts=%d next=%s", rec.User, rec.Value, next)
+		case OpSpoolSent, OpSpoolBounced, OpSpoolExpired:
+			fmt.Fprintf(w, " msg=%s attempts=%d", rec.User, rec.Value)
 		}
 		fmt.Fprintln(w)
 		off += sz

@@ -102,6 +102,12 @@ type Config struct {
 	DigestAuthorizeProb float64 // authorize a wanted pending message
 	DigestDeleteProb    float64 // delete an unwanted pending message
 
+	// EmitDSNs routes challenge bounces through real RFC 3464 DSN
+	// messages delivered back to each company's MTA-IN, so the engines
+	// learn challenge fates from their own DSN feedback loop instead of
+	// the direct transport callback (see simnet.Config.EmitDSNs).
+	EmitDSNs bool
+
 	// FaultPlan, when non-nil, activates the internal/faults injection
 	// layer across the simulated infrastructure: the DNS resolver, every
 	// blocklist provider, and the scanner backends all consult one seeded
@@ -284,7 +290,6 @@ func NewFleet(cfg Config) *Fleet {
 	f.DNS = dnssim.NewServer()
 	f.Providers = rbl.StandardProviders(f.Clk)
 	f.Traps = rbl.NewTrapRegistry(f.Providers...)
-	f.Net = simnet.New(f.Clk, f.Sched, f.DNS, f.Providers, f.Traps, simnet.Config{Seed: cfg.Seed + 1})
 	f.Checker = rbl.NewChecker(f.Providers...)
 	f.Digests = digest.NewBook()
 	if cfg.FaultPlan != nil {
@@ -294,6 +299,11 @@ func NewFleet(cfg Config) *Fleet {
 			p.SetInjector(f.Injector)
 		}
 	}
+	netCfg := simnet.Config{Seed: cfg.Seed + 1, EmitDSNs: cfg.EmitDSNs}
+	if f.Injector != nil {
+		netCfg.Injector = f.Injector
+	}
+	f.Net = simnet.New(f.Clk, f.Sched, f.DNS, f.Providers, f.Traps, netCfg)
 
 	// The resolver-cache path: every engine, probe filter, SPF checker
 	// and the workload generator resolve through one TTL cache with
